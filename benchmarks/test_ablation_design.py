@@ -1,0 +1,129 @@
+"""Design-choice ablations beyond the paper's Fig. 7.
+
+Three choices DESIGN.md calls out:
+
+1. PPO vs plain REINFORCE (the paper's Sec. III-H discussion),
+2. the reward squashing ``f_enum`` (absolute log-gap vs log-ratio),
+3. candidate-space-indexed vs direct local-candidate computation in the
+   shared enumerator (CECI/DP-iso auxiliary structure).
+
+(1) and (2) compare end-to-end order quality; (3) must leave the match
+set and ``#enum`` untouched and only change constants.
+"""
+
+import math
+import time
+
+from repro.bench.reporting import print_table
+from repro.core import RLQVOTrainer
+from repro.datasets import dataset_stats, load_dataset
+from repro.matching import Enumerator, GQLFilter, RIOrderer
+from repro.rl import RewardConfig
+
+
+def _eval_total_enum(orderer, data, stats, queries, enumerator):
+    gql = GQLFilter()
+    total = 0
+    for query in queries:
+        candidates = gql.filter(query, data, stats)
+        if candidates.has_empty():
+            continue
+        order = orderer.order(query, data, candidates, stats)
+        total += enumerator.run(query, data, candidates, order).num_enumerations
+    return total
+
+
+def test_algorithm_and_reward_ablation(benchmark, harness, record):
+    """PPO/log vs PPO/log_ratio vs REINFORCE/log on one workload."""
+
+    def run():
+        dataset = "yeast"
+        data = load_dataset(dataset)
+        stats = dataset_stats(dataset)
+        workload = harness.workload(dataset, 16)
+        enumerator = Enumerator(
+            match_limit=harness.settings.match_limit,
+            time_limit=harness.settings.time_limit,
+        )
+        variants = {
+            "ppo-log": {},
+            "ppo-logratio": {"reward": RewardConfig(fenum="log_ratio")},
+            "reinforce-log": {"algorithm": "reinforce"},
+        }
+        payload = {
+            "ri": _eval_total_enum(
+                RIOrderer(), data, stats, workload.eval, enumerator
+            )
+        }
+        for name, overrides in variants.items():
+            config = harness.settings.rlqvo_config(**overrides)
+            trainer = RLQVOTrainer(data, config, stats=stats)
+            trainer.train(list(workload.train))
+            payload[name] = _eval_total_enum(
+                trainer.make_orderer(), data, stats, workload.eval, enumerator
+            )
+        rows = [[name, value] for name, value in payload.items()]
+        print_table(
+            ["variant", "total eval #enum"],
+            rows,
+            title="Ablation — RL algorithm and reward squashing (yeast Q16)",
+        )
+        return payload
+
+    payload = benchmark.pedantic(
+        lambda: record("ablation_design", run), rounds=1, iterations=1
+    )
+    assert all(math.isfinite(v) and v >= 0 for v in payload.values())
+
+
+def test_candidate_space_preserves_semantics(benchmark, harness, record):
+    """CS-indexed enumeration: identical matches/#enum, different constants."""
+
+    def run():
+        dataset = "yeast"
+        data = load_dataset(dataset)
+        stats = dataset_stats(dataset)
+        workload = harness.workload(dataset, 8)
+        gql = GQLFilter()
+        plain = Enumerator(match_limit=None, time_limit=5.0)
+        indexed = Enumerator(
+            match_limit=None, time_limit=5.0, use_candidate_space=True
+        )
+        rows = []
+        payload = []
+        for i, query in enumerate(workload.eval):
+            candidates = gql.filter(query, data, stats)
+            if candidates.has_empty():
+                continue
+            order = RIOrderer().order(query, data, candidates, stats)
+            t0 = time.perf_counter()
+            a = plain.run(query, data, candidates, order)
+            t_plain = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            b = indexed.run(query, data, candidates, order)
+            t_indexed = time.perf_counter() - t0
+            payload.append(
+                {
+                    "matches_equal": a.num_matches == b.num_matches,
+                    "enum_equal": a.num_enumerations == b.num_enumerations,
+                    "t_plain": t_plain,
+                    "t_indexed": t_indexed,
+                }
+            )
+            rows.append(
+                [i, a.num_matches, a.num_enumerations,
+                 f"{t_plain * 1e3:.1f}ms", f"{t_indexed * 1e3:.1f}ms"]
+            )
+        print_table(
+            ["q", "matches", "#enum", "direct", "cs-indexed"],
+            rows,
+            title="Ablation — candidate-space enumeration (yeast Q8)",
+        )
+        return payload
+
+    payload = benchmark.pedantic(
+        lambda: record("ablation_candidate_space", run), rounds=1, iterations=1
+    )
+    assert payload
+    assert all(entry["matches_equal"] for entry in payload)
+    assert all(entry["enum_equal"] for entry in payload)

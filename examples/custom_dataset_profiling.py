@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bring-your-own-graph: register a custom dataset and profile queries.
+
+The paper's pipeline is dataset-agnostic; this example shows the two
+extension points a downstream user needs:
+
+1. :func:`repro.datasets.register_graph_file` — plug any labeled graph in
+   the ``t/v/e`` text format into the workload/benchmark machinery
+   (e.g. the paper's original data graphs, if you have them);
+2. :func:`repro.bench.profile_workload` — measure how *order-sensitive*
+   each query is before spending training budget on it.
+
+Usage::
+
+    python examples/custom_dataset_profiling.py [graph_file]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import save_graph
+from repro.bench import profile_workload
+from repro.datasets import dataset_stats, load_dataset, query_workload, register_graph_file
+from repro.graphs import chung_lu, deduplicate_queries
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+    else:
+        # No file supplied: synthesize a small e-commerce-style graph
+        # (items/users/tags as labels) and save it as the custom input.
+        graph = chung_lu(2500, 7.0, 12, exponent=2.4, seed=99)
+        path = Path(tempfile.mkdtemp()) / "custom.graph"
+        save_graph(graph, path)
+        print(f"(no input file given; synthesized {graph} at {path})")
+
+    spec = register_graph_file(
+        "my-graph", path, query_sizes=(4, 8), default_query_size=8,
+        overwrite=True,
+    )
+    data = load_dataset("my-graph")
+    stats = dataset_stats("my-graph")
+    print(f"registered dataset {spec.name!r}: {data}\n")
+
+    workload = query_workload("my-graph", 8, count=10, seed=0)
+    queries = deduplicate_queries(list(workload.all_queries))
+    print(f"workload Q8: {len(workload.all_queries)} queries, "
+          f"{len(queries)} after WL-hash de-duplication\n")
+
+    profiles = profile_workload(
+        queries, data, stats, match_limit=5_000, time_limit=2.0
+    )
+    print(f"{'q':>3} | {'|C| min..max':>12} | {'est. cost':>10} | "
+          f"{'#enum (ri/gql/random)':>24} | sensitivity")
+    for i, profile in enumerate(profiles):
+        measured = "/".join(
+            str(profile.measured_enum.get(k, "-"))
+            for k in ("ri", "gql", "random")
+        )
+        print(f"{i:>3} | {profile.min_candidates:>5}..{profile.max_candidates:<5} | "
+              f"{profile.estimated_cost:10.2e} | {measured:>24} | "
+              f"{profile.order_sensitivity:5.1f}x")
+
+    hardest = max(profiles, key=lambda p: p.order_sensitivity)
+    print(f"\nmost order-sensitive query: {hardest.order_sensitivity:.1f}x spread "
+          "between the best and worst tested ordering — queries like this "
+          "are where a learned ordering pays off.")
+
+
+if __name__ == "__main__":
+    main()

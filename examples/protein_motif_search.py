@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Protein-interaction motif search (biology scenario).
+
+The paper motivates subgraph matching with graphlet/motif analysis in
+protein-protein interaction networks [2].  This example searches the
+(synthesized) Yeast PPI network for classic interaction motifs —
+triangles, stars and a "bridged complex" — with hand-written query
+graphs, and shows how much the matching order matters even for small
+motifs by comparing several ordering strategies on the same pipeline.
+
+Usage::
+
+    python examples/protein_motif_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Enumerator, GQLFilter, Graph, dataset_stats, load_dataset
+from repro.matching import GQLOrderer, RandomOrderer, RIOrderer, VF2PPOrderer
+
+
+def motif_catalogue(data: Graph) -> dict[str, Graph]:
+    """Small interaction motifs over the dataset's most common labels."""
+    # Use the three most frequent labels so motifs actually occur.
+    labels = sorted(
+        data.distinct_labels(), key=data.label_frequency, reverse=True
+    )[:3]
+    a, b, c = (labels + labels)[:3]
+    return {
+        # Three proteins all pairwise interacting (complex core).
+        "triangle": Graph([a, b, c], [(0, 1), (1, 2), (0, 2)]),
+        # One hub protein with three partners (signalling hub).
+        "star-3": Graph([a, b, b, c], [(0, 1), (0, 2), (0, 3)]),
+        # Two complexes sharing a bridge protein.
+        "bridged-complex": Graph(
+            [a, b, c, a, b],
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)],
+        ),
+        # A 4-cycle: alternative interaction pathway.
+        "square": Graph([a, b, a, b], [(0, 1), (1, 2), (2, 3), (3, 0)]),
+    }
+
+
+def main() -> None:
+    data = load_dataset("yeast")
+    stats = dataset_stats("yeast")
+    print(f"searching motifs in {data} (synthesized Yeast PPI stand-in)\n")
+
+    gql = GQLFilter()
+    enumerator = Enumerator(match_limit=50_000, time_limit=10.0)
+    orderers = {
+        "ri": RIOrderer(),
+        "vf2pp": VF2PPOrderer(),
+        "gql": GQLOrderer(),
+        "random": RandomOrderer(seed=0),
+    }
+
+    for motif_name, motif in motif_catalogue(data).items():
+        candidates = gql.filter(motif, data, stats)
+        if candidates.has_empty():
+            print(f"{motif_name:>16}: no candidates — motif absent")
+            continue
+        print(f"{motif_name:>16}: |V|={motif.num_vertices} "
+              f"|E|={motif.num_edges} candidate sizes={candidates.sizes()}")
+        rng = np.random.default_rng(0)
+        for name, orderer in orderers.items():
+            order = orderer.order(motif, data, candidates, stats, rng)
+            result = enumerator.run(motif, data, candidates, order)
+            status = "" if result.complete else " (truncated)"
+            print(f"{'':>16}  {name:>6}: {result.num_matches:>7} matches, "
+                  f"#enum={result.num_enumerations:>8}, "
+                  f"{result.elapsed * 1e3:7.1f}ms{status}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

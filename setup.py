@@ -1,0 +1,11 @@
+"""Setup shim.
+
+``pip install -e .`` requires the ``wheel`` package for PEP 660 editable
+builds; this offline environment ships setuptools 65 without wheel, so the
+legacy ``python setup.py develop`` path (driven by this shim) provides the
+editable install instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

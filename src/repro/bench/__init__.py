@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import (
+    FIG3_METHODS,
+    METHODS,
+    BenchSettings,
+    Harness,
+    QueryOutcome,
+    method_engine,
+)
+from repro.bench.profiling import QueryProfile, profile_query, profile_workload
+from repro.bench.reporting import (
+    format_seconds,
+    format_table,
+    geometric_mean,
+    percentile_series,
+    print_table,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "BenchSettings",
+    "FIG3_METHODS",
+    "Harness",
+    "METHODS",
+    "QueryOutcome",
+    "QueryProfile",
+    "format_seconds",
+    "format_table",
+    "geometric_mean",
+    "method_engine",
+    "percentile_series",
+    "print_table",
+    "profile_query",
+    "profile_workload",
+]

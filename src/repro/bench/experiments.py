@@ -1,0 +1,594 @@
+"""One regeneration function per table/figure of the paper's evaluation.
+
+Every function takes a :class:`~repro.bench.harness.Harness`, runs the
+experiment at the harness's scale, prints rows shaped like the paper's
+table/figure, and returns a structured payload that the benchmark
+wrappers (and tests) can assert on.  EXPERIMENTS.md records the
+paper-vs-measured comparison produced by these functions.
+"""
+
+from __future__ import annotations
+
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.bench.harness import FIG3_METHODS, BenchSettings, Harness, QueryOutcome
+from repro.bench.reporting import (
+    format_seconds,
+    geometric_mean,
+    percentile_series,
+    print_table,
+)
+from repro.core.trainer import RLQVOTrainer
+from repro.datasets.registry import DATASETS, dataset_stats, load_dataset
+from repro.matching.enumeration import Enumerator
+from repro.matching.filters import GQLFilter
+from repro.matching.ordering import OptimalOrderer, RIOrderer
+from repro.nn.serialization import model_nbytes
+
+__all__ = [
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table4",
+    "ALL_EXPERIMENTS",
+]
+
+_ALL_DATASETS = tuple(DATASETS)
+_FIG4_METHODS = ("rlqvo", "hybrid", "qsi", "ri", "vf2pp")
+
+
+def _mean_charged(outcomes: list[QueryOutcome]) -> float:
+    return float(np.mean([o.charged_time for o in outcomes])) if outcomes else float("nan")
+
+
+def _mean_enum_time(outcomes: list[QueryOutcome]) -> float:
+    values = [o.enum_time for o in outcomes]
+    return float(np.mean(values)) if values else float("nan")
+
+
+# ---------------------------------------------------------------------------
+# Table II / Table III
+# ---------------------------------------------------------------------------
+def table2(harness: Harness) -> dict:
+    """Table II: dataset properties (paper scale vs synthesized scale)."""
+    rows = []
+    payload = {}
+    for name, spec in DATASETS.items():
+        graph = load_dataset(name)
+        payload[name] = {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "num_labels": graph.num_labels,
+            "avg_degree": graph.average_degree,
+            "paper_num_vertices": spec.paper_num_vertices,
+            "paper_num_edges": spec.paper_num_edges,
+        }
+        rows.append(
+            [
+                name,
+                f"{spec.paper_num_vertices:,}",
+                f"{spec.paper_num_edges:,}",
+                f"{graph.num_vertices:,}",
+                f"{graph.num_edges:,}",
+                graph.num_labels,
+                f"{graph.average_degree:.1f}",
+            ]
+        )
+    print_table(
+        ["dataset", "|V| paper", "|E| paper", "|V| ours", "|E| ours", "|L|", "d"],
+        rows,
+        title="Table II — dataset properties (synthesized stand-ins)",
+    )
+    return payload
+
+
+def table3(harness: Harness) -> dict:
+    """Table III: query sets per dataset (sizes and default size)."""
+    rows = []
+    payload = {}
+    for name, spec in DATASETS.items():
+        sizes = ", ".join(f"Q{s}" for s in spec.query_sizes)
+        payload[name] = {
+            "sizes": spec.query_sizes,
+            "default": spec.default_query_size,
+            "count_per_set": harness.settings.query_count,
+        }
+        rows.append([name, sizes, f"Q{spec.default_query_size}"])
+    print_table(
+        ["dataset", "query sets", "default"],
+        rows,
+        title="Table III — query sets",
+    )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — average query processing time
+# ---------------------------------------------------------------------------
+def fig3(
+    harness: Harness,
+    datasets: tuple[str, ...] = _ALL_DATASETS,
+    methods: tuple[str, ...] = FIG3_METHODS,
+) -> dict:
+    """Fig. 3: average query processing time, 7 methods × 6 datasets.
+
+    Time is ``t_filter + t_order + t_enum`` with unsolved queries charged
+    the full limit, on each dataset's default query set.
+    """
+    payload: dict[str, dict[str, float]] = defaultdict(dict)
+    for dataset in datasets:
+        for method in methods:
+            outcomes = harness.evaluate(method, dataset)
+            payload[dataset][method] = _mean_charged(outcomes)
+    rows = [
+        [dataset] + [format_seconds(payload[dataset][m]) for m in methods]
+        for dataset in datasets
+    ]
+    print_table(
+        ["dataset"] + list(methods),
+        rows,
+        title="Fig. 3 — average query processing time (default query sets)",
+    )
+    return dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — query time percentiles and unsolved counts
+# ---------------------------------------------------------------------------
+def fig4(
+    harness: Harness,
+    datasets: tuple[str, ...] = _ALL_DATASETS,
+    methods: tuple[str, ...] = _FIG4_METHODS,
+    percentiles: tuple[float, ...] = (50, 75, 90, 95, 100),
+) -> dict:
+    """Fig. 4: cumulative query-time distribution (find-all) + unsolved.
+
+    The paper's curves use the time to find *all* matches; we therefore
+    drop the match limit and keep only the wall-clock deadline.
+    """
+    payload: dict[str, dict[str, dict]] = defaultdict(dict)
+    for dataset in datasets:
+        rows = []
+        for method in methods:
+            outcomes = harness.evaluate(method, dataset, match_limit=None)
+            times = [o.charged_time for o in outcomes]
+            unsolved = sum(1 for o in outcomes if not o.solved)
+            series = percentile_series(times, percentiles)
+            payload[dataset][method] = {
+                "percentiles": series,
+                "unsolved": unsolved,
+                "mean": float(np.mean(times)) if times else float("nan"),
+            }
+            rows.append(
+                [method]
+                + [format_seconds(v) for _, v in series]
+                + [unsolved]
+            )
+        print_table(
+            ["method"] + [f"P{int(p)}" for p in percentiles] + ["unsolved"],
+            rows,
+            title=f"Fig. 4 — query time percentiles on {dataset} (find-all)",
+        )
+    return dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — enumeration time vs query size
+# ---------------------------------------------------------------------------
+def fig5(
+    harness: Harness,
+    datasets: tuple[str, ...] = _ALL_DATASETS,
+    methods: tuple[str, ...] = FIG3_METHODS,
+) -> dict:
+    """Fig. 5: average enumeration time for Q4…Q32 on every dataset.
+
+    All methods share the enumerator, so enumeration time isolates order
+    quality (Sec. IV-C).
+    """
+    payload: dict[str, dict[str, dict[int, float]]] = defaultdict(
+        lambda: defaultdict(dict)
+    )
+    for dataset in datasets:
+        sizes = DATASETS[dataset].query_sizes
+        rows = []
+        for method in methods:
+            row = [method]
+            for size in sizes:
+                outcomes = harness.evaluate(method, dataset, size=size)
+                value = _mean_enum_time(outcomes)
+                payload[dataset][method][size] = value
+                row.append(format_seconds(value))
+            rows.append(row)
+        print_table(
+            ["method"] + [f"Q{s}" for s in sizes],
+            rows,
+            title=f"Fig. 5 — average enumeration time on {dataset}",
+        )
+    return {d: {m: dict(v) for m, v in mv.items()} for d, mv in payload.items()}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — spectrum analysis against the optimal order
+# ---------------------------------------------------------------------------
+def fig6(
+    harness: Harness,
+    datasets: tuple[str, ...] = ("citeseer", "yeast", "dblp"),
+    num_queries: int = 5,
+    query_size: int = 8,
+    max_permutations: int = 800,
+    match_limit: int = 1000,
+) -> dict:
+    """Fig. 6: enumeration time of Opt vs RL-QVO vs Hybrid on Q8 queries.
+
+    The optimal order enumerates (capped) all connected permutations and
+    keeps the one with minimum ``#enum`` — the paper's spectrum analysis
+    at reduced permutation budget.
+    """
+    settings = harness.settings
+    enumerator = Enumerator(
+        match_limit=match_limit, time_limit=settings.time_limit
+    )
+    payload: dict[str, dict] = {}
+    for dataset in datasets:
+        data = load_dataset(dataset)
+        stats = dataset_stats(dataset)
+        workload = harness.workload(dataset, query_size)
+        queries = workload.eval[:num_queries]
+        rlqvo, _ = harness.trained_orderer(dataset, query_size)
+        hybrid = RIOrderer()
+        # Seed the (possibly capped) exhaustive search with both compared
+        # orders so "Opt" lower-bounds them even under the cap.
+        optimal = OptimalOrderer(
+            match_limit=match_limit,
+            time_limit=min(0.2, settings.time_limit),
+            max_permutations=max_permutations,
+            seed_orderers=[hybrid, rlqvo],
+        )
+        gql_filter = GQLFilter()
+
+        per_query = []
+        for query in queries:
+            candidates = gql_filter.filter(query, data, stats)
+            if candidates.has_empty():
+                continue
+            entry = {}
+            for name, orderer in (
+                ("opt", optimal),
+                ("rlqvo", rlqvo),
+                ("hybrid", hybrid),
+            ):
+                order = orderer.order(query, data, candidates, stats)
+                run = enumerator.run(query, data, candidates, order)
+                entry[name] = {
+                    "enum_time": run.elapsed,
+                    "num_enumerations": run.num_enumerations,
+                }
+            per_query.append(entry)
+
+        summary = {
+            name: geometric_mean([e[name]["enum_time"] for e in per_query])
+            for name in ("opt", "rlqvo", "hybrid")
+        }
+        payload[dataset] = {"queries": per_query, "geomean_enum_time": summary}
+        rows = [
+            [
+                i,
+                format_seconds(e["opt"]["enum_time"]),
+                format_seconds(e["rlqvo"]["enum_time"]),
+                format_seconds(e["hybrid"]["enum_time"]),
+                e["opt"]["num_enumerations"],
+                e["rlqvo"]["num_enumerations"],
+                e["hybrid"]["num_enumerations"],
+            ]
+            for i, e in enumerate(per_query)
+        ]
+        print_table(
+            ["q", "t(opt)", "t(rlqvo)", "t(hybrid)", "#en(opt)", "#en(rlqvo)", "#en(hybrid)"],
+            rows,
+            title=f"Fig. 6 — spectrum vs optimal order on {dataset} (Q{query_size})",
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — ablation study on EU2005
+# ---------------------------------------------------------------------------
+def _ablation_configs(settings: BenchSettings) -> dict[str, dict]:
+    """Config overrides for each RL-QVO ablation variant (Sec. IV-D)."""
+    return {
+        "rlqvo": {},
+        "rif": {"feature_mode": "random"},
+        "nn": {"gnn_kind": "mlp"},
+        "gat": {"gnn_kind": "gat"},
+        "graphsage": {"gnn_kind": "sage"},
+        "graphnn": {"gnn_kind": "graphnn"},
+        "asap": {"gnn_kind": "asap"},
+        "noent": {"use_entropy_reward": False},
+        "noval": {"use_validity_reward": False},
+    }
+
+
+def fig7(
+    harness: Harness,
+    dataset: str = "eu2005",
+    sizes: tuple[int, ...] | None = None,
+    train_size: int = 8,
+) -> dict:
+    """Fig. 7: query/enumeration time of RL-QVO ablation variants.
+
+    Each variant is trained once on the ``Q<train_size>`` training half
+    (incremental-style transfer, keeping the budget tractable) and
+    evaluated on every query size of the dataset.
+    """
+    sizes = DATASETS[dataset].query_sizes if sizes is None else sizes
+    variants = _ablation_configs(harness.settings)
+    payload: dict[str, dict] = {}
+    for variant, overrides in variants.items():
+        config = harness.settings.rlqvo_config(**overrides)
+        orderer, _ = harness.trained_orderer(
+            dataset, train_size, config=config, tag=f"abl-{variant}"
+        )
+        per_size_total: dict[int, float] = {}
+        per_size_enum: dict[int, float] = {}
+        for size in sizes:
+            outcomes = harness.evaluate(
+                "rlqvo", dataset, size=size, orderer=orderer
+            )
+            per_size_total[size] = _mean_charged(outcomes)
+            per_size_enum[size] = _mean_enum_time(outcomes)
+        payload[variant] = {"total": per_size_total, "enum": per_size_enum}
+
+    for metric, label in (("total", "query processing"), ("enum", "enumeration")):
+        rows = [
+            [variant] + [format_seconds(payload[variant][metric][s]) for s in sizes]
+            for variant in variants
+        ]
+        print_table(
+            ["variant"] + [f"Q{s}" for s in sizes],
+            rows,
+            title=f"Fig. 7 — {label} time of ablation variants on {dataset}",
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — output dimension sweep
+# ---------------------------------------------------------------------------
+def fig8(
+    harness: Harness,
+    datasets: tuple[str, ...] = ("dblp", "eu2005", "wordnet"),
+    dims: tuple[int, ...] = (16, 32, 64, 128, 256),
+    train_size: int | None = None,
+) -> dict:
+    """Fig. 8: average query processing time vs GCN output dimension.
+
+    ``train_size`` optionally trains on a cheaper query size and applies
+    the model to the default evaluation set (incremental-style transfer,
+    used by the reduced-scale benchmark suite).
+    """
+    payload: dict[str, dict[int, float]] = defaultdict(dict)
+    for dataset in datasets:
+        for dim in dims:
+            config = harness.settings.rlqvo_config(hidden_dim=dim)
+            orderer, _ = harness.trained_orderer(
+                dataset, size=train_size, config=config, tag=f"dim{dim}"
+            )
+            outcomes = harness.evaluate("rlqvo", dataset, orderer=orderer)
+            payload[dataset][dim] = _mean_charged(outcomes)
+    rows = [
+        [dataset] + [format_seconds(payload[dataset][d]) for d in dims]
+        for dataset in datasets
+    ]
+    print_table(
+        ["dataset"] + [str(d) for d in dims],
+        rows,
+        title="Fig. 8 — query processing time vs output dimension",
+    )
+    return dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — incremental training
+# ---------------------------------------------------------------------------
+def fig9(
+    harness: Harness,
+    datasets: tuple[str, ...] = ("dblp", "eu2005", "youtube"),
+    pretrain_size: int = 16,
+) -> dict:
+    """Fig. 9: full vs incremental vs pretrained-only training.
+
+    Three regimes per dataset (Sec. IV-F): (1) full training on the
+    default set, (2) full training on a smaller set + few incremental
+    epochs on the default set, (3) the smaller-set model applied as-is.
+    Reports both query processing time and training time.
+    """
+    settings = harness.settings
+    payload: dict[str, dict] = {}
+    for dataset in datasets:
+        data = load_dataset(dataset)
+        stats = dataset_stats(dataset)
+        default_size = DATASETS[dataset].default_query_size
+        pre_wl = harness.workload(dataset, pretrain_size)
+        target_wl = harness.workload(dataset, default_size)
+        regimes: dict[str, dict] = {}
+
+        # (1) full training on the default query set
+        trainer = RLQVOTrainer(data, settings.rlqvo_config(), stats=stats)
+        hist = trainer.train(list(target_wl.train))
+        regimes["full"] = {
+            "orderer": trainer.make_orderer(),
+            "train_time": hist.total_time,
+        }
+
+        # (2)+(3) pretrain on the smaller set, then fine-tune
+        trainer2 = RLQVOTrainer(
+            data, settings.rlqvo_config(seed=settings.seed + 1), stats=stats
+        )
+        pre_hist = trainer2.train(list(pre_wl.train))
+        regimes["pretrained"] = {
+            "orderer": trainer2.make_orderer(),
+            "train_time": pre_hist.total_time,
+        }
+        incr_hist = trainer2.train(
+            list(target_wl.train), epochs=settings.incremental_epochs
+        )
+        regimes["incremental"] = {
+            "orderer": trainer2.make_orderer(),
+            "train_time": pre_hist.total_time + incr_hist.total_time,
+        }
+
+        result = {}
+        for regime in ("full", "incremental", "pretrained"):
+            outcomes = harness.evaluate(
+                "rlqvo", dataset, orderer=regimes[regime]["orderer"]
+            )
+            result[regime] = {
+                "query_time": _mean_charged(outcomes),
+                "train_time": regimes[regime]["train_time"],
+            }
+        payload[dataset] = result
+
+    rows = []
+    for dataset, result in payload.items():
+        for regime, vals in result.items():
+            rows.append(
+                [
+                    dataset,
+                    regime,
+                    format_seconds(vals["query_time"]),
+                    format_seconds(vals["train_time"]),
+                ]
+            )
+    print_table(
+        ["dataset", "regime", "avg query time", "training time"],
+        rows,
+        title="Fig. 9 — incremental training comparison",
+    )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — GNN depth sweep
+# ---------------------------------------------------------------------------
+def fig10(
+    harness: Harness,
+    datasets: tuple[str, ...] = ("dblp", "eu2005", "wordnet"),
+    layer_counts: tuple[int, ...] = (1, 2, 3, 4),
+    train_size: int | None = None,
+) -> dict:
+    """Fig. 10: average query processing time vs number of GNN layers."""
+    payload: dict[str, dict[int, float]] = defaultdict(dict)
+    for dataset in datasets:
+        for layers in layer_counts:
+            config = harness.settings.rlqvo_config(num_gnn_layers=layers)
+            orderer, _ = harness.trained_orderer(
+                dataset, size=train_size, config=config, tag=f"layers{layers}"
+            )
+            outcomes = harness.evaluate("rlqvo", dataset, orderer=orderer)
+            payload[dataset][layers] = _mean_charged(outcomes)
+    rows = [
+        [dataset] + [format_seconds(payload[dataset][n]) for n in layer_counts]
+        for dataset in datasets
+    ]
+    print_table(
+        ["dataset"] + [f"{n} layer(s)" for n in layer_counts],
+        rows,
+        title="Fig. 10 — query processing time vs number of GNN layers",
+    )
+    return dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — enumeration time vs number of matches
+# ---------------------------------------------------------------------------
+def fig11(
+    harness: Harness,
+    dataset: str = "youtube",
+    size: int = 16,
+    limits: tuple[int | None, ...] = (1_000, 10_000, 100_000, None),
+) -> dict:
+    """Fig. 11: RL-QVO vs Hybrid enumeration time as the match cap grows.
+
+    ``None`` is the paper's "ALL" setting.  The gap should widen with the
+    cap: better orders help most on large search spaces.
+    """
+    payload: dict[str, dict[str, float]] = defaultdict(dict)
+    for limit in limits:
+        label = "ALL" if limit is None else f"{limit:g}"
+        for method in ("rlqvo", "hybrid"):
+            outcomes = harness.evaluate(
+                method, dataset, size=size, match_limit=limit
+            )
+            payload[label][method] = _mean_enum_time(outcomes)
+    rows = [
+        [label, format_seconds(vals["rlqvo"]), format_seconds(vals["hybrid"])]
+        for label, vals in payload.items()
+    ]
+    print_table(
+        ["#matches", "rlqvo", "hybrid"],
+        rows,
+        title=f"Fig. 11 — enumeration time vs number of matches ({dataset} Q{size})",
+    )
+    return dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Table IV — space evaluation
+# ---------------------------------------------------------------------------
+def table4(harness: Harness) -> dict:
+    """Table IV: data graph space vs (constant) model parameter space."""
+    from repro.core.policy import PolicyNetwork
+
+    model = PolicyNetwork(harness.settings.rlqvo_config())
+    model_bytes = model_nbytes(model)
+    rows = []
+    payload = {"model_bytes": model_bytes, "datasets": {}}
+    for name in DATASETS:
+        graph = load_dataset(name)
+        graph_bytes = graph.memory_bytes()
+        payload["datasets"][name] = graph_bytes
+        rows.append(
+            [name, _format_bytes(graph_bytes), _format_bytes(model_bytes)]
+        )
+    print_table(
+        ["dataset", "graph space", "model space"],
+        rows,
+        title="Table IV — space evaluation",
+    )
+    return payload
+
+
+def _format_bytes(n: int) -> str:
+    if n < 1024:
+        return f"{n} B"
+    if n < 1024**2:
+        return f"{n / 1024:.1f} kB"
+    return f"{n / 1024**2:.1f} MB"
+
+
+#: Experiment registry for the CLI.
+ALL_EXPERIMENTS = {
+    "table2": table2,
+    "table3": table3,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "table4": table4,
+}

@@ -1,0 +1,288 @@
+"""Benchmark harness: compared methods, limits, model cache (Sec. IV-A).
+
+The paper compares seven backtracking matchers that differ in their
+filter/order combination but share one enumeration implementation — the
+property that lets enumeration time stand in for order quality.  The
+:data:`METHODS` registry reproduces that matrix:
+
+================  =================  =====================
+method            filter             ordering
+================  =================  =====================
+``qsi``           LDF                QuickSI edge-rarity
+``ri``            LDF                RI structure greedy
+``vf2pp``         LDF                VF2++ label rarity
+``gql``           GQL                GraphQL min-candidate
+``cfl``           CFL                CFL path-based
+``veq``           DP-iso (DAG DP)    VEQ NEC-aware
+``hybrid``        GQL                RI  (the SOTA of [14])
+``rlqvo``         GQL                learned policy
+================  =================  =====================
+
+Scale knobs live in :class:`BenchSettings` (env-overridable): the paper's
+500 s / 10^5-match caps become seconds-scale caps suited to a pure-Python
+substrate.  Unsolved queries are charged the full time limit, as in
+Sec. IV-A.
+"""
+
+from __future__ import annotations
+
+import os
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import RLQVOConfig
+from repro.core.orderer import RLQVOOrderer
+from repro.core.trainer import RLQVOTrainer, TrainingHistory
+from repro.datasets.registry import DATASETS, dataset_stats, load_dataset
+from repro.datasets.workloads import QueryWorkload, query_workload
+from repro.errors import DatasetError
+from repro.graphs.graph import Graph
+from repro.matching.candidates import CandidateFilter
+from repro.matching.engine import MatchingEngine, MatchResult
+from repro.matching.enumeration import Enumerator
+from repro.matching.filters import CFLFilter, DPisoFilter, GQLFilter, LDFFilter
+from repro.matching.ordering import (
+    CFLOrderer,
+    GQLOrderer,
+    Orderer,
+    QSIOrderer,
+    RIOrderer,
+    VEQOrderer,
+    VF2PPOrderer,
+)
+
+__all__ = ["BenchSettings", "QueryOutcome", "Harness", "METHODS", "method_engine"]
+
+#: Baseline method registry: name -> (filter factory, orderer factory).
+METHODS: dict[str, tuple[type[CandidateFilter], type[Orderer]]] = {
+    "qsi": (LDFFilter, QSIOrderer),
+    "ri": (LDFFilter, RIOrderer),
+    "vf2pp": (LDFFilter, VF2PPOrderer),
+    "gql": (GQLFilter, GQLOrderer),
+    "cfl": (CFLFilter, CFLOrderer),
+    "veq": (DPisoFilter, VEQOrderer),
+    "hybrid": (GQLFilter, RIOrderer),
+}
+
+#: Methods shown in Fig. 3 (ordered as in the paper's legend).
+FIG3_METHODS = ("rlqvo", "veq", "hybrid", "ri", "qsi", "vf2pp", "gql")
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Scale settings for the experiment suite.
+
+    Environment overrides (read by :meth:`from_env`):
+    ``REPRO_BENCH_QUERIES``, ``REPRO_BENCH_TIME_LIMIT``,
+    ``REPRO_BENCH_MATCH_LIMIT``, ``REPRO_BENCH_EPOCHS``,
+    ``REPRO_BENCH_SEED``.
+    """
+
+    query_count: int = 16
+    time_limit: float = 2.0
+    match_limit: int | None = 10_000
+    train_epochs: int = 20
+    incremental_epochs: int = 5
+    train_match_limit: int = 2_000
+    train_time_limit: float = 1.0
+    rollouts_per_query: int = 2
+    hidden_dim: int = 64
+    num_gnn_layers: int = 2
+    seed: int = 0
+
+    @staticmethod
+    def from_env() -> "BenchSettings":
+        """Settings with ``REPRO_BENCH_*`` environment overrides applied."""
+        kwargs = {}
+        mapping = {
+            "REPRO_BENCH_QUERIES": ("query_count", int),
+            "REPRO_BENCH_TIME_LIMIT": ("time_limit", float),
+            "REPRO_BENCH_EPOCHS": ("train_epochs", int),
+            "REPRO_BENCH_SEED": ("seed", int),
+        }
+        for env, (attr, cast) in mapping.items():
+            if env in os.environ:
+                kwargs[attr] = cast(os.environ[env])
+        if "REPRO_BENCH_MATCH_LIMIT" in os.environ:
+            raw = os.environ["REPRO_BENCH_MATCH_LIMIT"]
+            kwargs["match_limit"] = None if raw.lower() == "none" else int(raw)
+        return BenchSettings(**kwargs)
+
+    def rlqvo_config(self, **overrides) -> RLQVOConfig:
+        """RL-QVO config derived from the bench scale settings."""
+        base = dict(
+            epochs=self.train_epochs,
+            incremental_epochs=self.incremental_epochs,
+            hidden_dim=self.hidden_dim,
+            num_gnn_layers=self.num_gnn_layers,
+            train_match_limit=self.train_match_limit,
+            train_time_limit=self.train_time_limit,
+            rollouts_per_query=self.rollouts_per_query,
+            seed=self.seed,
+        )
+        base.update(overrides)
+        return RLQVOConfig(**base)
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One (method, query) evaluation row."""
+
+    method: str
+    dataset: str
+    size: int
+    query_index: int
+    filter_time: float
+    order_time: float
+    enum_time: float
+    num_matches: int
+    num_enumerations: int
+    solved: bool
+    #: Total charged time: actual when solved, the full limit otherwise
+    #: (the paper charges unsolved queries 500 s).
+    charged_time: float
+
+
+def method_engine(
+    method: str, enumerator: Enumerator, orderer: Orderer | None = None
+) -> MatchingEngine:
+    """Build the matching engine for a registry method.
+
+    ``rlqvo`` needs its trained ``orderer`` passed explicitly.
+    """
+    if method == "rlqvo":
+        if orderer is None:
+            raise DatasetError("rlqvo engine needs a trained orderer")
+        return MatchingEngine(GQLFilter(), orderer, enumerator)
+    if method not in METHODS:
+        raise DatasetError(f"unknown method {method!r}; options: {sorted(METHODS)}")
+    filter_cls, orderer_cls = METHODS[method]
+    return MatchingEngine(filter_cls(), orderer_cls(), enumerator)
+
+
+class Harness:
+    """Shared state for the experiment suite: workloads + trained models."""
+
+    def __init__(self, settings: BenchSettings | None = None):
+        self.settings = settings if settings is not None else BenchSettings.from_env()
+        self._workloads: dict[tuple[str, int], QueryWorkload] = {}
+        self._trainers: dict[tuple, RLQVOTrainer] = {}
+        self._histories: dict[tuple, TrainingHistory] = {}
+
+    # ------------------------------------------------------------------
+    # Workloads
+    # ------------------------------------------------------------------
+    def workload(self, dataset: str, size: int | None = None) -> QueryWorkload:
+        """Cached Table III workload for (dataset, size)."""
+        spec = DATASETS[dataset]
+        size = spec.default_query_size if size is None else size
+        key = (dataset, size)
+        if key not in self._workloads:
+            self._workloads[key] = query_workload(
+                dataset,
+                size,
+                count=self.settings.query_count,
+                seed=self.settings.seed,
+                data=load_dataset(dataset),
+            )
+        return self._workloads[key]
+
+    # ------------------------------------------------------------------
+    # RL-QVO training (cached per dataset/size/config)
+    # ------------------------------------------------------------------
+    def trained_orderer(
+        self,
+        dataset: str,
+        size: int | None = None,
+        config: RLQVOConfig | None = None,
+        epochs: int | None = None,
+        tag: str = "",
+    ) -> tuple[RLQVOOrderer, TrainingHistory]:
+        """Train (or fetch) an RL-QVO orderer for the given workload."""
+        spec = DATASETS[dataset]
+        size = spec.default_query_size if size is None else size
+        config = config if config is not None else self.settings.rlqvo_config()
+        key = (dataset, size, tag or _config_key(config), epochs)
+        if key not in self._trainers:
+            data = load_dataset(dataset)
+            stats = dataset_stats(dataset)
+            trainer = RLQVOTrainer(data, config, stats=stats)
+            workload = self.workload(dataset, size)
+            history = trainer.train(list(workload.train), epochs=epochs)
+            self._trainers[key] = trainer
+            self._histories[key] = history
+        return self._trainers[key].make_orderer(), self._histories[key]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        method: str,
+        dataset: str,
+        size: int | None = None,
+        queries: tuple[Graph, ...] | None = None,
+        match_limit: int | None = "default",
+        orderer: Orderer | None = None,
+    ) -> list[QueryOutcome]:
+        """Run one method over the eval half of a workload."""
+        spec = DATASETS[dataset]
+        size = spec.default_query_size if size is None else size
+        if queries is None:
+            queries = self.workload(dataset, size).eval
+        if match_limit == "default":
+            match_limit = self.settings.match_limit
+        if method == "rlqvo" and orderer is None:
+            orderer, _ = self.trained_orderer(dataset, size)
+
+        enumerator = Enumerator(
+            match_limit=match_limit,
+            time_limit=self.settings.time_limit,
+            record_matches=False,
+        )
+        engine = method_engine(method, enumerator, orderer)
+        data = load_dataset(dataset)
+        stats = dataset_stats(dataset)
+        rng = np.random.default_rng(self.settings.seed + 1)
+
+        outcomes = []
+        for index, query in enumerate(queries):
+            result = engine.run(query, data, stats, rng)
+            outcomes.append(
+                self._outcome(method, dataset, size, index, result)
+            )
+        return outcomes
+
+    def _outcome(
+        self, method: str, dataset: str, size: int, index: int, result: MatchResult
+    ) -> QueryOutcome:
+        solved = result.solved
+        charged = (
+            result.total_time
+            if solved
+            else self.settings.time_limit + result.filter_time + result.order_time
+        )
+        return QueryOutcome(
+            method=method,
+            dataset=dataset,
+            size=size,
+            query_index=index,
+            filter_time=result.filter_time,
+            order_time=result.order_time,
+            enum_time=result.enum_time,
+            num_matches=result.num_matches,
+            num_enumerations=result.num_enumerations,
+            solved=solved,
+            charged_time=charged,
+        )
+
+
+def _config_key(config: RLQVOConfig) -> str:
+    return (
+        f"{config.gnn_kind}-{config.num_gnn_layers}x{config.hidden_dim}"
+        f"-{config.feature_mode}-e{config.epochs}"
+        f"-ent{int(config.use_entropy_reward)}-val{int(config.use_validity_reward)}"
+        f"-s{config.seed}"
+    )

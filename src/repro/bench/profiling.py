@@ -1,0 +1,96 @@
+"""Query-difficulty profiling.
+
+Workload analysis used when interpreting benchmark results: per-query
+candidate statistics, the estimated search-space size, and the measured
+#enum spread across a set of ordering strategies.  The Fig. 4 discussion
+("hard queries dominate the tail") is quantified with these profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.candidates import CandidateFilter
+from repro.matching.cost import estimate_order_cost
+from repro.matching.enumeration import Enumerator
+from repro.matching.filters.gql import GQLFilter
+from repro.matching.ordering import GQLOrderer, RandomOrderer, RIOrderer
+
+__all__ = ["QueryProfile", "profile_query", "profile_workload"]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Difficulty indicators for one (query, data) pair."""
+
+    num_vertices: int
+    num_edges: int
+    candidate_sizes: tuple[int, ...]
+    min_candidates: int
+    max_candidates: int
+    estimated_cost: float
+    #: Measured #enum under a few standard orders (keyed by orderer name);
+    #: empty when ``measure=False``.
+    measured_enum: dict[str, int]
+
+    @property
+    def order_sensitivity(self) -> float:
+        """max/min measured #enum — how much ordering matters here."""
+        if not self.measured_enum:
+            return float("nan")
+        values = list(self.measured_enum.values())
+        return max(values) / max(min(values), 1)
+
+
+def profile_query(
+    query: Graph,
+    data: Graph,
+    stats: GraphStats | None = None,
+    candidate_filter: CandidateFilter | None = None,
+    measure: bool = True,
+    match_limit: int | None = 10_000,
+    time_limit: float | None = 2.0,
+) -> QueryProfile:
+    """Profile one query's difficulty against ``data``."""
+    candidate_filter = candidate_filter if candidate_filter is not None else GQLFilter()
+    candidates = candidate_filter.filter(query, data, stats)
+    sizes = tuple(candidates.sizes())
+
+    reference_order = (
+        RIOrderer().order(query, data, candidates, stats)
+        if query.num_vertices
+        else []
+    )
+    estimated = estimate_order_cost(query, data, candidates, reference_order)
+
+    measured: dict[str, int] = {}
+    if measure and not candidates.has_empty():
+        enumerator = Enumerator(match_limit=match_limit, time_limit=time_limit)
+        for orderer in (RIOrderer(), GQLOrderer(), RandomOrderer(seed=0)):
+            order = orderer.order(query, data, candidates, stats)
+            run = enumerator.run(query, data, candidates, order)
+            measured[orderer.name] = run.num_enumerations
+
+    return QueryProfile(
+        num_vertices=query.num_vertices,
+        num_edges=query.num_edges,
+        candidate_sizes=sizes,
+        min_candidates=min(sizes) if sizes else 0,
+        max_candidates=max(sizes) if sizes else 0,
+        estimated_cost=estimated,
+        measured_enum=measured,
+    )
+
+
+def profile_workload(
+    queries: list[Graph],
+    data: Graph,
+    stats: GraphStats | None = None,
+    **kwargs,
+) -> list[QueryProfile]:
+    """Profiles for a whole query set (same kwargs as :func:`profile_query`)."""
+    return [profile_query(q, data, stats, **kwargs) for q in queries]

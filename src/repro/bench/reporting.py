@@ -1,0 +1,79 @@
+"""Plain-text reporting helpers for the experiment suite.
+
+Every experiment prints rows shaped like the corresponding paper table or
+figure series, so ``pytest benchmarks/ --benchmark-only -s`` (or the
+``repro-bench`` CLI) regenerates the evaluation section in text form.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = [
+    "format_seconds",
+    "format_table",
+    "print_table",
+    "geometric_mean",
+    "percentile_series",
+]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled seconds (µs/ms/s) for table cells."""
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> None:
+    """Print :func:`format_table` output."""
+    print()
+    print(format_table(headers, rows, title))
+
+
+def geometric_mean(values: Sequence[float], floor: float = 1e-9) -> float:
+    """Geometric mean with a floor guarding zero values."""
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(max(v, floor)) for v in values) / len(values))
+
+
+def percentile_series(
+    values: Sequence[float], percentiles: Sequence[float]
+) -> list[tuple[float, float]]:
+    """``(percentile, value)`` pairs over sorted ``values`` (Fig. 4 curves)."""
+    if not values:
+        return [(p, float("nan")) for p in percentiles]
+    ordered = sorted(values)
+    out = []
+    for p in percentiles:
+        rank = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        out.append((p, ordered[rank]))
+    return out

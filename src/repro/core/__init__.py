@@ -1,0 +1,22 @@
+"""RL-QVO core: features, policy network, orderer, trainer, persistence."""
+
+from repro.core.config import RLQVOConfig
+from repro.core.features import FEATURE_DIM, FeatureBuilder
+from repro.core.model_io import load_model, save_model
+from repro.core.orderer import RLQVOOrderer
+from repro.core.policy import PolicyNetwork, PolicyOutput
+from repro.core.trainer import EpochStats, RLQVOTrainer, TrainingHistory
+
+__all__ = [
+    "EpochStats",
+    "FEATURE_DIM",
+    "FeatureBuilder",
+    "PolicyNetwork",
+    "PolicyOutput",
+    "RLQVOConfig",
+    "RLQVOOrderer",
+    "RLQVOTrainer",
+    "TrainingHistory",
+    "load_model",
+    "save_model",
+]

@@ -1,0 +1,124 @@
+"""Training CLI: ``repro-train <dataset> [options]``.
+
+Trains an RL-QVO policy on a Table III workload of one of the registry
+datasets and saves it (weights + config) to a model directory that
+:func:`repro.core.model_io.load_model` can restore.
+
+Examples
+--------
+::
+
+    repro-train yeast --size 8 --queries 12 --epochs 20 --out models/yeast-q8
+    repro-train dblp --incremental-from 8 --epochs 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.config import RLQVOConfig
+from repro.core.model_io import save_model
+from repro.core.trainer import RLQVOTrainer
+from repro.datasets.registry import DATASETS, dataset_stats, load_dataset
+from repro.datasets.workloads import query_workload
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-train",
+        description="Train an RL-QVO query-vertex-ordering policy.",
+    )
+    parser.add_argument("dataset", choices=sorted(DATASETS))
+    parser.add_argument("--size", type=int, help="query vertex count (Table III)")
+    parser.add_argument("--queries", type=int, default=12, help="workload size")
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--rollouts", type=int, default=2, help="rollouts per query")
+    parser.add_argument("--hidden-dim", type=int, default=64)
+    parser.add_argument("--layers", type=int, default=2, help="GNN layers")
+    parser.add_argument(
+        "--gnn", default="gcn",
+        choices=["gcn", "gat", "sage", "graphnn", "asap", "mlp"],
+    )
+    parser.add_argument(
+        "--algorithm", default="ppo",
+        choices=["ppo", "reinforce", "actor_critic"],
+    )
+    parser.add_argument("--train-match-limit", type=int, default=2000)
+    parser.add_argument("--train-time-limit", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--incremental-from", type=int, metavar="SIZE",
+        help="pretrain on Q<SIZE> first, then fine-tune on the target size",
+    )
+    parser.add_argument("--out", help="model output directory")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    spec = DATASETS[args.dataset]
+    size = args.size if args.size is not None else spec.default_query_size
+    out_dir = args.out or f"models/{args.dataset}-q{size}"
+
+    config = RLQVOConfig(
+        gnn_kind=args.gnn,
+        num_gnn_layers=args.layers,
+        hidden_dim=args.hidden_dim,
+        epochs=args.epochs,
+        rollouts_per_query=args.rollouts,
+        algorithm=args.algorithm,
+        train_match_limit=args.train_match_limit,
+        train_time_limit=args.train_time_limit,
+        seed=args.seed,
+    )
+    data = load_dataset(args.dataset)
+    stats = dataset_stats(args.dataset)
+    trainer = RLQVOTrainer(data, config, stats=stats)
+
+    def log(epoch_stats) -> None:
+        print(
+            f"epoch {epoch_stats.epoch:>3}: "
+            f"return={epoch_stats.mean_return:+8.2f} "
+            f"Δ#enum-reward={epoch_stats.mean_enum_reward:+6.2f} "
+            f"used={epoch_stats.queries_used} "
+            f"skipped={epoch_stats.queries_skipped} "
+            f"({epoch_stats.elapsed:.1f}s)"
+        )
+
+    start = time.perf_counter()
+    if args.incremental_from is not None:
+        pre = query_workload(
+            args.dataset, args.incremental_from, count=args.queries,
+            seed=args.seed, data=data,
+        )
+        target = query_workload(
+            args.dataset, size, count=args.queries, seed=args.seed, data=data
+        )
+        print(f"pretraining on {pre.name} ({len(pre.train)} queries)")
+        trainer.train(list(pre.train), log_fn=log)
+        print(f"incremental fine-tune on {target.name}")
+        trainer.train(
+            list(target.train), epochs=config.incremental_epochs, log_fn=log
+        )
+    else:
+        workload = query_workload(
+            args.dataset, size, count=args.queries, seed=args.seed, data=data
+        )
+        print(f"training on {workload.name} ({len(workload.train)} queries)")
+        trainer.train(list(workload.train), log_fn=log)
+
+    save_model(trainer.policy, out_dir)
+    print(
+        f"saved model to {out_dir} "
+        f"(total {time.perf_counter() - start:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Hyperparameter configuration for RL-QVO (defaults from Sec. IV-A).
+
+Paper defaults: 2 GCN layers, output dimension 64, 2-layer MLP head,
+learning rate 1e-3, dropout 0.2, 100 training epochs (10 incremental),
+all feature scaling factors α = 1, PPO clipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.rl.reward import RewardConfig
+
+__all__ = ["RLQVOConfig"]
+
+
+@dataclass(frozen=True)
+class RLQVOConfig:
+    """All knobs of the RL-QVO model and trainer.
+
+    Attributes
+    ----------
+    gnn_kind:
+        Encoder type: ``"gcn"`` (default) or the ablation variants
+        ``"gat"``, ``"sage"``, ``"graphnn"``, ``"asap"``, or ``"mlp"``
+        (no message passing — RL-QVO-NN).
+    num_gnn_layers / hidden_dim:
+        Encoder depth and output dimension (paper: 2 × 64).
+    feature_mode:
+        ``"heuristic"`` for the designed 7-dim features (Sec. III-C) or
+        ``"random"`` for the RL-QVO-RIF ablation.
+    alpha_degree / alpha_d / alpha_l:
+        Feature scaling factors (paper: all 1).
+    learning_rate / dropout / epochs / incremental_epochs:
+        Training-loop settings (paper: 1e-3 / 0.2 / 100 / 10).
+    clip_epsilon:
+        PPO ratio clip ``ε`` (Eq. 6).
+    updates_per_epoch:
+        Gradient steps taken on each collected batch before the sampling
+        policy is refreshed.
+    train_match_limit / train_time_limit:
+        Enumeration limits applied during reward computation; the paper
+        caps at the first 10^5 matches and skips queries over the time
+        limit during training.
+    use_entropy_reward / use_validity_reward:
+        Toggles for the NoEnt / NoVal ablations.
+    seed:
+        Master seed for weights, sampling and dropout.
+    """
+
+    gnn_kind: str = "gcn"
+    num_gnn_layers: int = 2
+    hidden_dim: int = 64
+    feature_mode: str = "heuristic"
+    alpha_degree: float = 1.0
+    alpha_d: float = 1.0
+    alpha_l: float = 1.0
+    learning_rate: float = 1e-3
+    dropout: float = 0.2
+    epochs: int = 100
+    incremental_epochs: int = 10
+    clip_epsilon: float = 0.2
+    updates_per_epoch: int = 2
+    #: Batch-normalize the decayed step rewards inside PPO (optional
+    #: variance reduction; off by default to match the paper's Eq. 6).
+    normalize_advantages: bool = False
+    #: Sampled ordering episodes collected per training query per epoch.
+    #: More rollouts = more PPO signal per enumeration budget.
+    rollouts_per_query: int = 1
+    #: Policy-gradient algorithm: "ppo" (the paper's choice, Sec. III-E),
+    #: "reinforce" (the plain alternative discussed in Sec. III-H) or
+    #: "actor_critic" (the value-function family Sec. III-A rejects).
+    algorithm: str = "ppo"
+    #: After each epoch, evaluate the policy greedily on the training
+    #: queries and keep the best checkpoint.  Useful with large training
+    #: sets; with very few training queries it can select an overfit
+    #: epoch, so it is opt-in.
+    track_best_policy: bool = False
+    train_match_limit: int | None = 100_000
+    train_time_limit: float | None = 500.0
+    use_entropy_reward: bool = True
+    use_validity_reward: bool = True
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_gnn_layers < 1:
+            raise ModelError("num_gnn_layers must be >= 1")
+        if self.hidden_dim < 1:
+            raise ModelError("hidden_dim must be >= 1")
+        if self.feature_mode not in ("heuristic", "random"):
+            raise ModelError(f"unknown feature_mode {self.feature_mode!r}")
+        if not 0.0 < self.clip_epsilon < 1.0:
+            raise ModelError("clip_epsilon must be in (0, 1)")
+        if self.epochs < 0 or self.incremental_epochs < 0:
+            raise ModelError("epoch counts must be non-negative")
+        if self.rollouts_per_query < 1:
+            raise ModelError("rollouts_per_query must be >= 1")
+        if self.algorithm not in ("ppo", "reinforce", "actor_critic"):
+            raise ModelError(f"unknown algorithm {self.algorithm!r}")
+
+    def effective_reward(self) -> RewardConfig:
+        """Reward config with ablation toggles applied (β zeroed when off)."""
+        beta_val = self.reward.beta_val if self.use_validity_reward else 0.0
+        beta_h = self.reward.beta_h if self.use_entropy_reward else 0.0
+        return RewardConfig(
+            beta_val=beta_val,
+            beta_h=beta_h,
+            gamma=self.reward.gamma,
+            valid_bonus=self.reward.valid_bonus,
+            invalid_penalty=self.reward.invalid_penalty,
+            fenum=self.reward.fenum,
+        )

@@ -1,0 +1,85 @@
+"""Initial feature representation of query vertices (Sec. III-C).
+
+Seven dimensions per query vertex ``u``:
+
+1. ``degree(u) / α_degree`` — scaled degree,
+2. ``label(u)`` — raw label id,
+3. ``id(u)`` — vertex id (queries are small, no scaling needed),
+4. ``|{v ∈ G : d(u) < d(v)}| / (|V(G)|·α_d)`` — degree-rank vs data graph,
+5. ``|{v ∈ G : L(u) = L(v)}| / (|V(G)|·α_l)`` — label frequency in G,
+6. ``|V(q)| − t + 1`` — number of unordered vertices (time signal),
+7. ``1(u ∈ φ_{t-1})`` — ordered indicator.
+
+Dims 1–5 are static per (query, data) pair; 6–7 are updated per MDP step.
+The RL-QVO-RIF ablation replaces 1–5 with fixed random values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.core.config import RLQVOConfig
+
+__all__ = ["FEATURE_DIM", "FeatureBuilder"]
+
+#: Width of the per-vertex feature vector ``h_u``.
+FEATURE_DIM = 7
+
+
+class FeatureBuilder:
+    """Builds static and per-step feature matrices for a data graph."""
+
+    def __init__(self, data: Graph, config: RLQVOConfig, stats: GraphStats | None = None):
+        self.data = data
+        self.config = config
+        self.stats = stats if stats is not None else GraphStats(data)
+        if self.stats.graph is not data:
+            raise ModelError("GraphStats does not belong to the given data graph")
+        self._static_cache: dict[int, np.ndarray] = {}
+        self._rif_rng = np.random.default_rng(config.seed + 7919)
+
+    def static_features(self, query: Graph) -> np.ndarray:
+        """The five static feature columns for every vertex of ``query``."""
+        cached = self._static_cache.get(id(query))
+        if cached is not None:
+            return cached
+        n = query.num_vertices
+        cfg = self.config
+        out = np.zeros((n, 5))
+        if cfg.feature_mode == "random":
+            # RL-QVO-RIF: random input features, fixed per query.
+            out = self._rif_rng.random((n, 5))
+        else:
+            nv = max(self.data.num_vertices, 1)
+            for u in range(n):
+                deg = query.degree(u)
+                out[u, 0] = deg / cfg.alpha_degree
+                out[u, 1] = query.label(u)
+                out[u, 2] = u
+                out[u, 3] = self.stats.count_degree_greater(deg) / (nv * cfg.alpha_d)
+                out[u, 4] = self.stats.label_frequency(query.label(u)) / (
+                    nv * cfg.alpha_l
+                )
+        out.setflags(write=False)
+        self._static_cache[id(query)] = out
+        return out
+
+    def step_features(
+        self, query: Graph, static: np.ndarray, step: int, ordered_mask: np.ndarray
+    ) -> np.ndarray:
+        """Full ``(n, 7)`` feature matrix ``H_t`` at MDP step ``step``.
+
+        ``step`` is the number of vertices already ordered (``t-1`` vertices
+        placed before the ``t``-th selection, with t = step + 1).
+        """
+        n = query.num_vertices
+        if static.shape != (n, 5):
+            raise ModelError(f"static features shape {static.shape} != ({n}, 5)")
+        full = np.empty((n, FEATURE_DIM))
+        full[:, :5] = static
+        full[:, 5] = n - step  # |V(q)| - t + 1 with t = step + 1
+        full[:, 6] = ordered_mask.astype(np.float64)
+        return full

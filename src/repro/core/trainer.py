@@ -1,0 +1,296 @@
+"""RL-QVO training loop (Sec. III-E/III-F).
+
+Per epoch:
+
+1. freeze a copy of the policy as the PPO sampling policy ``π_θ'``;
+2. roll ``π_θ'`` through every training query to get orders;
+3. run the (shared) enumeration procedure on each learned order and on
+   the cached RI baseline order to obtain ``Δ#enum`` (queries whose
+   enumeration exceeds the time limit are skipped, as in Sec. IV-A);
+4. attach decayed step rewards (Eq. 1–2) and run the clipped PPO update.
+
+:meth:`RLQVOTrainer.incremental_train` implements Sec. III-F: full
+training on a cheaper query set, then a few fine-tuning epochs on the
+target set — the configuration the paper's headline numbers use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import RLQVOConfig
+from repro.core.features import FeatureBuilder
+from repro.core.orderer import RLQVOOrderer
+from repro.core.policy import PolicyNetwork
+from repro.errors import TrainingError
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.candidates import CandidateFilter, CandidateSets
+from repro.matching.enumeration import Enumerator
+from repro.matching.filters.gql import GQLFilter
+from repro.matching.ordering.ri import RIOrderer
+from repro.nn.gnn import GraphContext
+from repro.rl.actor_critic import ActorCriticTrainer
+from repro.rl.ppo import PPOTrainer
+from repro.rl.reinforce import ReinforceTrainer
+from repro.rl.reward import discounted_return, enumeration_reward, step_rewards
+from repro.rl.rollout import collect_trajectory
+
+__all__ = ["EpochStats", "TrainingHistory", "RLQVOTrainer"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Per-epoch training diagnostics."""
+
+    epoch: int
+    mean_return: float
+    mean_enum_reward: float
+    mean_enum_learned: float
+    mean_enum_baseline: float
+    loss: float
+    queries_used: int
+    queries_skipped: int
+    elapsed: float
+    #: Total #enum of the *greedy* policy on the training queries after
+    #: this epoch's update (0 when best-checkpoint tracking is off).
+    greedy_enum_total: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated epoch statistics plus total wall-clock time."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def final_mean_return(self) -> float:
+        """Mean discounted return of the last epoch (0.0 if untrained)."""
+        return self.epochs[-1].mean_return if self.epochs else 0.0
+
+
+class RLQVOTrainer:
+    """End-to-end trainer binding policy, data graph and matching pipeline."""
+
+    def __init__(
+        self,
+        data: Graph,
+        config: RLQVOConfig | None = None,
+        candidate_filter: CandidateFilter | None = None,
+        stats: GraphStats | None = None,
+        policy: PolicyNetwork | None = None,
+    ):
+        self.data = data
+        self.config = config if config is not None else RLQVOConfig()
+        self.stats = stats if stats is not None else GraphStats(data)
+        self.candidate_filter = (
+            candidate_filter if candidate_filter is not None else GQLFilter()
+        )
+        self.policy = policy if policy is not None else PolicyNetwork(self.config)
+        self.feature_builder = FeatureBuilder(data, self.config, self.stats)
+        self.baseline_orderer = RIOrderer()
+        if self.config.algorithm == "reinforce":
+            self.ppo = ReinforceTrainer(
+                self.policy,
+                learning_rate=self.config.learning_rate,
+                normalize_advantages=self.config.normalize_advantages,
+            )
+        elif self.config.algorithm == "actor_critic":
+            self.ppo = ActorCriticTrainer(
+                self.policy, learning_rate=self.config.learning_rate
+            )
+        else:
+            self.ppo = PPOTrainer(
+                self.policy,
+                learning_rate=self.config.learning_rate,
+                clip_epsilon=self.config.clip_epsilon,
+                updates_per_batch=self.config.updates_per_epoch,
+                normalize_advantages=self.config.normalize_advantages,
+            )
+        self._rng = np.random.default_rng(self.config.seed + 13)
+        self._reward_cfg = self.config.effective_reward()
+        self._enumerator = Enumerator(
+            match_limit=self.config.train_match_limit,
+            time_limit=self.config.train_time_limit,
+            record_matches=False,
+        )
+        # Per-query caches (keyed by object identity; query sets are reused
+        # across epochs).
+        self._candidates: dict[int, CandidateSets] = {}
+        self._baseline_enum: dict[int, int | None] = {}
+        self._contexts: dict[int, GraphContext] = {}
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def _prepare(self, query: Graph) -> tuple[CandidateSets, int | None, GraphContext]:
+        key = id(query)
+        if key not in self._candidates:
+            candidates = self.candidate_filter.filter(query, self.data, self.stats)
+            self._candidates[key] = candidates
+            self._contexts[key] = GraphContext.from_graph(query)
+            if candidates.has_empty():
+                self._baseline_enum[key] = 0
+            else:
+                base_order = self.baseline_orderer.order(
+                    query, self.data, candidates, self.stats
+                )
+                base = self._enumerator.run(query, self.data, candidates, base_order)
+                # A timed-out baseline makes Δ#enum meaningless; mark the
+                # query as unusable for reward computation.
+                self._baseline_enum[key] = (
+                    base.num_enumerations if not base.timed_out else None
+                )
+        return self._candidates[key], self._baseline_enum[key], self._contexts[key]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        queries: list[Graph],
+        epochs: int | None = None,
+        log_fn=None,
+    ) -> TrainingHistory:
+        """Run PPO training; returns per-epoch statistics."""
+        if not queries:
+            raise TrainingError("no training queries supplied")
+        epochs = self.config.epochs if epochs is None else epochs
+        history = TrainingHistory()
+        start = time.perf_counter()
+        gamma = self._reward_cfg.gamma
+        best_total: int | None = None
+        best_state: dict | None = None
+
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            sampling_policy = self.policy.clone().eval()
+            trajectories = []
+            returns, enum_rewards = [], []
+            enum_learned_all, enum_base_all = [], []
+            skipped = 0
+
+            for query in queries:
+                candidates, baseline, ctx = self._prepare(query)
+                if baseline is None or candidates.has_empty():
+                    skipped += 1
+                    continue
+                used_any = False
+                for _ in range(self.config.rollouts_per_query):
+                    trajectory = collect_trajectory(
+                        sampling_policy, query, self.feature_builder, self._rng, ctx
+                    )
+                    run = self._enumerator.run(
+                        query, self.data, candidates, trajectory.order
+                    )
+                    if run.timed_out:
+                        continue  # Sec. IV-A: skip over-limit rollouts
+                    used_any = True
+                    renum = enumeration_reward(
+                        run.num_enumerations, baseline, self._reward_cfg.fenum
+                    )
+                    rewards = step_rewards(
+                        renum,
+                        [s.valid for s in trajectory.steps],
+                        [s.entropy for s in trajectory.steps],
+                        self._reward_cfg,
+                    )
+                    # Decayed per-step rewards (Eq. 2): the surrogate
+                    # weights each step's term by γ^t R_t.
+                    trajectory.rewards = [
+                        gamma ** (t + 1) * r for t, r in enumerate(rewards)
+                    ]
+                    trajectories.append(trajectory)
+                    returns.append(discounted_return(rewards, gamma))
+                    enum_rewards.append(renum)
+                    enum_learned_all.append(run.num_enumerations)
+                    enum_base_all.append(baseline)
+                if not used_any:
+                    skipped += 1
+
+            self.policy.train()
+            ppo_stats = self.ppo.update(trajectories)
+
+            greedy_total = 0
+            if self.config.track_best_policy:
+                greedy_total = self._greedy_enum_total(queries)
+                if best_total is None or greedy_total < best_total:
+                    best_total = greedy_total
+                    best_state = self.policy.state_dict()
+
+            stats = EpochStats(
+                epoch=epoch,
+                mean_return=float(np.mean(returns)) if returns else 0.0,
+                mean_enum_reward=float(np.mean(enum_rewards)) if enum_rewards else 0.0,
+                mean_enum_learned=(
+                    float(np.mean(enum_learned_all)) if enum_learned_all else 0.0
+                ),
+                mean_enum_baseline=(
+                    float(np.mean(enum_base_all)) if enum_base_all else 0.0
+                ),
+                loss=ppo_stats.loss,
+                queries_used=len(trajectories),
+                queries_skipped=skipped,
+                elapsed=time.perf_counter() - t0,
+                greedy_enum_total=greedy_total,
+            )
+            history.epochs.append(stats)
+            if log_fn is not None:
+                log_fn(stats)
+
+        if self.config.track_best_policy and best_state is not None:
+            self.policy.load_state_dict(best_state)
+        history.total_time = time.perf_counter() - start
+        return history
+
+    def _greedy_enum_total(self, queries: list[Graph]) -> int:
+        """Total #enum of the greedy policy over the training queries."""
+        orderer = self.make_orderer()
+        total = 0
+        for query in queries:
+            candidates, baseline, _ = self._prepare(query)
+            if baseline is None or candidates.has_empty():
+                continue
+            order = orderer.order(query, self.data, candidates, self.stats)
+            run = self._enumerator.run(query, self.data, candidates, order)
+            total += run.num_enumerations
+        self.policy.train()  # make_orderer switched the policy to eval
+        return total
+
+    def incremental_train(
+        self,
+        pretrain_queries: list[Graph],
+        target_queries: list[Graph],
+        pretrain_epochs: int | None = None,
+        incremental_epochs: int | None = None,
+        log_fn=None,
+    ) -> tuple[TrainingHistory, TrainingHistory]:
+        """Sec. III-F: full training on a small set, short fine-tune on target."""
+        pre = self.train(
+            pretrain_queries,
+            epochs=self.config.epochs if pretrain_epochs is None else pretrain_epochs,
+            log_fn=log_fn,
+        )
+        incr = self.train(
+            target_queries,
+            epochs=(
+                self.config.incremental_epochs
+                if incremental_epochs is None
+                else incremental_epochs
+            ),
+            log_fn=log_fn,
+        )
+        return pre, incr
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def make_orderer(self, sample: bool = False) -> RLQVOOrderer:
+        """Wrap the trained policy as a drop-in orderer."""
+        return RLQVOOrderer(
+            self.policy, self.feature_builder, sample=sample, seed=self.config.seed
+        )

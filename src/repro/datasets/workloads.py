@@ -1,0 +1,101 @@
+"""Query workloads (Table III) with the paper's train/eval split.
+
+The paper draws 200–400 connected query graphs per size class ``Qi``
+(i vertices) from each data graph, trains on 50 % and evaluates on the
+rest.  :func:`query_workload` reproduces that protocol at configurable
+scale (benchmarks default to smaller counts; pass ``count`` to match the
+paper exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+from repro.graphs.graph import Graph
+from repro.graphs.query_gen import generate_query_set
+from repro.datasets.registry import DATASETS, load_dataset
+
+__all__ = ["QueryWorkload", "query_workload", "default_query_size", "paper_query_count"]
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A query set ``Qi`` for one dataset, split into train and eval halves."""
+
+    dataset: str
+    size: int
+    train: tuple[Graph, ...]
+    eval: tuple[Graph, ...]
+
+    @property
+    def name(self) -> str:
+        """Table III-style name, e.g. ``"Q8"``."""
+        return f"Q{self.size}"
+
+    @property
+    def all_queries(self) -> tuple[Graph, ...]:
+        """Train and eval queries concatenated."""
+        return self.train + self.eval
+
+
+def paper_query_count(size: int) -> int:
+    """Sec. IV-A: 400 query graphs in Q8/Q16, 200 in Q4/Q32."""
+    return 400 if size in (8, 16) else 200
+
+
+def default_query_size(dataset: str) -> int:
+    """The bold default size of Table III (32, or 16 for Wordnet)."""
+    if dataset not in DATASETS:
+        raise DatasetError(f"unknown dataset {dataset!r}")
+    return DATASETS[dataset].default_query_size
+
+
+def query_workload(
+    dataset: str,
+    size: int | None = None,
+    count: int = 20,
+    seed: int = 0,
+    data: Graph | None = None,
+) -> QueryWorkload:
+    """Build the ``Q<size>`` workload for ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset name from the registry.
+    size:
+        Query vertex count; defaults to the dataset's Table III default.
+    count:
+        Total queries (split 50/50); use
+        :func:`paper_query_count` to match the paper's scale.
+    seed:
+        Workload RNG seed (queries are deterministic in it).
+    data:
+        Pre-loaded data graph (loaded from the registry when omitted).
+    """
+    if dataset not in DATASETS:
+        raise DatasetError(f"unknown dataset {dataset!r}; options: {sorted(DATASETS)}")
+    spec = DATASETS[dataset]
+    size = spec.default_query_size if size is None else size
+    if size not in spec.query_sizes:
+        raise DatasetError(
+            f"{dataset} supports query sizes {spec.query_sizes}, got {size}"
+        )
+    if count < 2:
+        raise DatasetError("count must be >= 2 to allow a train/eval split")
+    graph = data if data is not None else load_dataset(dataset)
+    queries = generate_query_set(
+        graph,
+        size,
+        count,
+        seed=seed * 10_007 + size,
+        target_avg_degree=spec.query_target_degree,
+    )
+    half = count // 2
+    return QueryWorkload(
+        dataset=dataset,
+        size=size,
+        train=tuple(queries[:half]),
+        eval=tuple(queries[half:]),
+    )

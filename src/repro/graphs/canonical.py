@@ -1,0 +1,56 @@
+"""Weisfeiler–Leman graph hashing for query de-duplication.
+
+Randomly extracted query workloads often contain isomorphic duplicates
+(especially small ones like Q4); evaluating duplicates wastes budget and
+skews averages.  :func:`wl_hash` computes a 1-WL colour-refinement hash
+that is invariant under isomorphism (equal for isomorphic graphs, and
+distinct for most non-isomorphic ones — 1-WL cannot separate certain
+regular graphs, so it may over-merge in rare cases);
+:func:`deduplicate_queries` keeps one representative per hash class.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+
+from repro.graphs.graph import Graph
+
+__all__ = ["wl_hash", "deduplicate_queries"]
+
+
+def _digest(value: str) -> str:
+    return hashlib.blake2b(value.encode(), digest_size=8).hexdigest()
+
+
+def wl_hash(graph: Graph, iterations: int = 3) -> str:
+    """Isomorphism-invariant hash via 1-WL colour refinement.
+
+    Starts from vertex labels, iteratively replaces each colour with a
+    digest of (own colour, sorted multiset of neighbour colours), and
+    hashes the sorted colour multiset after each round.
+    """
+    colors = [str(graph.label(v)) for v in graph.vertices()]
+    signature = [",".join(sorted(colors))]
+    for _ in range(max(iterations, 0)):
+        new_colors = []
+        for v in graph.vertices():
+            neighbourhood = sorted(colors[int(u)] for u in graph.neighbors(v))
+            new_colors.append(_digest(colors[v] + "|" + ".".join(neighbourhood)))
+        colors = new_colors
+        signature.append(",".join(sorted(colors)))
+    return _digest(";".join(signature))
+
+
+def deduplicate_queries(
+    queries: Sequence[Graph], iterations: int = 3
+) -> list[Graph]:
+    """One representative per WL-hash class, preserving input order."""
+    seen: set[str] = set()
+    unique: list[Graph] = []
+    for query in queries:
+        key = wl_hash(query, iterations)
+        if key not in seen:
+            seen.add(key)
+            unique.append(query)
+    return unique

@@ -1,0 +1,285 @@
+"""Labeled undirected graph used for both query and data graphs.
+
+The paper (Sec. II-A) works on undirected vertex-labeled graphs
+``G = (V, E)`` with a label function ``f_l: V -> L``.  This module provides
+an immutable :class:`Graph` optimized for the two access patterns that
+dominate subgraph matching:
+
+* fast neighbourhood iteration / membership (``N(v)``, ``e(u, v)``), and
+* label-indexed vertex lookup (``vertices with label l``).
+
+Vertices are dense integers ``0..n-1``; labels are small non-negative
+integers.  Adjacency is stored twice: as sorted ``numpy`` arrays (cheap
+iteration, set intersections via ``np.intersect1d``) and as Python sets
+(O(1) membership tests inside the hot enumeration loop).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable undirected vertex-labeled graph.
+
+    Parameters
+    ----------
+    labels:
+        Sequence of per-vertex integer labels; its length defines ``n``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Duplicates and orientation are
+        normalized away; self loops are rejected.
+
+    Examples
+    --------
+    >>> g = Graph([0, 1, 0], [(0, 1), (1, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = (
+        "_labels",
+        "_adjacency",
+        "_neighbor_sets",
+        "_num_edges",
+        "_label_index",
+        "_degrees",
+        "_edge_list",
+    )
+
+    def __init__(self, labels: Sequence[int], edges: Iterable[tuple[int, int]]):
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        if labels_arr.ndim != 1:
+            raise InvalidGraphError("labels must be a 1-D sequence")
+        if labels_arr.size and labels_arr.min() < 0:
+            raise InvalidGraphError("labels must be non-negative integers")
+        n = int(labels_arr.size)
+
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise InvalidGraphError(f"self loop on vertex {u}")
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidGraphError(f"edge ({u}, {v}) out of range for n={n}")
+            seen.add((u, v) if u < v else (v, u))
+
+        neighbor_sets: list[set[int]] = [set() for _ in range(n)]
+        for u, v in seen:
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+
+        self._labels = labels_arr
+        self._labels.setflags(write=False)
+        self._adjacency: list[np.ndarray] = []
+        for nbrs in neighbor_sets:
+            arr = np.fromiter(nbrs, dtype=np.int64, count=len(nbrs))
+            arr.sort()
+            arr.setflags(write=False)
+            self._adjacency.append(arr)
+        self._neighbor_sets: list[frozenset[int]] = [
+            frozenset(nbrs) for nbrs in neighbor_sets
+        ]
+        self._num_edges = len(seen)
+        self._edge_list: tuple[tuple[int, int], ...] = tuple(sorted(seen))
+
+        self._degrees = np.array([len(s) for s in neighbor_sets], dtype=np.int64)
+        self._degrees.setflags(write=False)
+
+        label_index: dict[int, list[int]] = {}
+        for v, lab in enumerate(labels_arr.tolist()):
+            label_index.setdefault(lab, []).append(v)
+        self._label_index: dict[int, np.ndarray] = {
+            lab: np.asarray(vs, dtype=np.int64) for lab, vs in label_index.items()
+        }
+        for arr in self._label_index.values():
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return int(self._labels.size)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Read-only array of per-vertex labels."""
+        return self._labels
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only array of vertex degrees."""
+        return self._degrees
+
+    @property
+    def num_labels(self) -> int:
+        """Number of distinct labels present in the graph."""
+        return len(self._label_index)
+
+    @property
+    def average_degree(self) -> float:
+        """Average vertex degree ``2|E| / |V|`` (0.0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self._num_edges / self.num_vertices
+
+    @property
+    def max_degree(self) -> int:
+        """Largest vertex degree (0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self._degrees.max())
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def label(self, v: int) -> int:
+        """Label of vertex ``v``."""
+        return int(self._labels[v])
+
+    def degree(self, v: int) -> int:
+        """Degree ``d(v)``."""
+        return int(self._degrees[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted array of neighbours ``N(v)``."""
+        return self._adjacency[v]
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        """Neighbours of ``v`` as a frozenset (O(1) membership)."""
+        return self._neighbor_sets[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``e(u, v)`` exists."""
+        return v in self._neighbor_sets[u]
+
+    def vertices(self) -> range:
+        """Iterable over all vertex ids."""
+        return range(self.num_vertices)
+
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """All edges as sorted ``(u, v)`` pairs with ``u < v``."""
+        return self._edge_list
+
+    def vertices_with_label(self, lab: int) -> np.ndarray:
+        """Sorted vertex ids having label ``lab`` (empty array if none)."""
+        return self._label_index.get(int(lab), _EMPTY)
+
+    def label_frequency(self, lab: int) -> int:
+        """Number of vertices carrying label ``lab``."""
+        return int(self._label_index.get(int(lab), _EMPTY).size)
+
+    def distinct_labels(self) -> list[int]:
+        """Sorted list of labels present in the graph."""
+        return sorted(self._label_index)
+
+    def neighbor_labels(self, v: int) -> list[int]:
+        """Sorted multiset of labels of ``N(v)`` (used by GQL profiles)."""
+        return sorted(int(self._labels[u]) for u in self._adjacency[v])
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, vertices: Sequence[int]) -> tuple["Graph", dict[int, int]]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph (with vertices relabeled ``0..k-1`` in the
+        given order) and the mapping ``old id -> new id``.
+        """
+        vlist = [int(v) for v in vertices]
+        if len(set(vlist)) != len(vlist):
+            raise InvalidGraphError("induced_subgraph: duplicate vertices")
+        mapping = {old: new for new, old in enumerate(vlist)}
+        sub_labels = [self.label(v) for v in vlist]
+        sub_edges = [
+            (mapping[u], mapping[v])
+            for u, v in self._edge_list
+            if u in mapping and v in mapping
+        ]
+        return Graph(sub_labels, sub_edges), mapping
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the empty graph counts as connected)."""
+        n = self.num_vertices
+        if n <= 1:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in self._adjacency[u]:
+                v = int(v)
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == n
+
+    def normalized_adjacency(self) -> np.ndarray:
+        """Dense GCN propagation matrix ``D^-1/2 (A + I) D^-1/2`` (Eq. 3).
+
+        Only intended for query graphs (tens of vertices); raises for
+        graphs above 4096 vertices to prevent accidental dense blowups.
+        """
+        n = self.num_vertices
+        if n > 4096:
+            raise InvalidGraphError(
+                f"normalized_adjacency is dense-only (n={n} > 4096)"
+            )
+        a_tilde = np.eye(n)
+        for u, v in self._edge_list:
+            a_tilde[u, v] = 1.0
+            a_tilde[v, u] = 1.0
+        inv_sqrt = 1.0 / np.sqrt(a_tilde.sum(axis=1))
+        return a_tilde * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_vertices))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self._labels, other._labels)
+            and self._edge_list == other._edge_list
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._labels.tobytes(), self._edge_list))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Graph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"|L|={self.num_labels})"
+        )
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of the graph payload (Table IV)."""
+        total = self._labels.nbytes + self._degrees.nbytes
+        total += sum(arr.nbytes for arr in self._adjacency)
+        total += sum(arr.nbytes for arr in self._label_index.values())
+        return total
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)

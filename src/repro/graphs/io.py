@@ -1,0 +1,100 @@
+"""Reading and writing graphs in the CSR text format of Sun & Luo [14].
+
+The format used by the in-memory subgraph matching study (and by the paper's
+query/data graph files) is::
+
+    t <num_vertices> <num_edges>
+    v <vertex-id> <label> <degree>
+    ...
+    e <u> <v>
+    ...
+
+Vertex lines must appear for ids ``0..n-1``; the recorded degree is
+validated against the edge lines.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+from repro.errors import GraphFormatError
+from repro.graphs.graph import Graph
+
+__all__ = ["load_graph", "loads_graph", "save_graph", "dumps_graph"]
+
+
+def loads_graph(text: str) -> Graph:
+    """Parse a graph from a string in the ``t/v/e`` text format."""
+    labels: dict[int, int] = {}
+    declared_degrees: dict[int, int] = {}
+    edges: list[tuple[int, int]] = []
+    n_decl: int | None = None
+    m_decl: int | None = None
+
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        parts = line.split()
+        tag = parts[0]
+        try:
+            if tag == "t":
+                if n_decl is not None:
+                    raise GraphFormatError(f"line {lineno}: duplicate 't' header")
+                n_decl, m_decl = int(parts[1]), int(parts[2])
+            elif tag == "v":
+                vid, lab = int(parts[1]), int(parts[2])
+                if vid in labels:
+                    raise GraphFormatError(f"line {lineno}: duplicate vertex {vid}")
+                labels[vid] = lab
+                if len(parts) > 3:
+                    declared_degrees[vid] = int(parts[3])
+            elif tag == "e":
+                edges.append((int(parts[1]), int(parts[2])))
+            else:
+                raise GraphFormatError(f"line {lineno}: unknown record '{tag}'")
+        except (IndexError, ValueError) as exc:
+            raise GraphFormatError(f"line {lineno}: malformed record: {line!r}") from exc
+
+    if n_decl is None:
+        raise GraphFormatError("missing 't <n> <m>' header")
+    if len(labels) != n_decl:
+        raise GraphFormatError(
+            f"header declares {n_decl} vertices but {len(labels)} 'v' lines found"
+        )
+    if sorted(labels) != list(range(n_decl)):
+        raise GraphFormatError("vertex ids must be dense 0..n-1")
+    if m_decl is not None and len(edges) != m_decl:
+        raise GraphFormatError(
+            f"header declares {m_decl} edges but {len(edges)} 'e' lines found"
+        )
+
+    graph = Graph([labels[v] for v in range(n_decl)], edges)
+    for vid, deg in declared_degrees.items():
+        if graph.degree(vid) != deg:
+            raise GraphFormatError(
+                f"vertex {vid}: declared degree {deg} != actual {graph.degree(vid)}"
+            )
+    return graph
+
+
+def load_graph(path: str | os.PathLike[str]) -> Graph:
+    """Load a graph file in the ``t/v/e`` text format."""
+    return loads_graph(Path(path).read_text())
+
+
+def dumps_graph(graph: Graph) -> str:
+    """Serialize a graph to the ``t/v/e`` text format."""
+    lines = [f"t {graph.num_vertices} {graph.num_edges}"]
+    lines.extend(
+        f"v {v} {graph.label(v)} {graph.degree(v)}" for v in graph.vertices()
+    )
+    lines.extend(f"e {u} {v}" for u, v in graph.edges())
+    return "\n".join(lines) + "\n"
+
+
+def save_graph(graph: Graph, path: str | os.PathLike[str]) -> None:
+    """Write a graph file in the ``t/v/e`` text format."""
+    Path(path).write_text(dumps_graph(graph))

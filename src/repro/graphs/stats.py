@@ -1,0 +1,100 @@
+"""Graph statistics used by ordering heuristics and feature initialization.
+
+The paper's feature vector (Sec. III-C) and several baseline orderers need
+data-graph-wide statistics: label frequencies, counts of vertices whose
+degree exceeds a threshold, and neighbourhood label profiles.  Computing
+these lazily per query would make ordering O(|V(G)|); :class:`GraphStats`
+precomputes them once per data graph.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphStats", "degree_histogram", "label_histogram"]
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Map ``degree -> number of vertices with that degree``."""
+    values, counts = np.unique(graph.degrees, return_counts=True)
+    return dict(zip(values.tolist(), counts.tolist()))
+
+
+def label_histogram(graph: Graph) -> dict[int, int]:
+    """Map ``label -> number of vertices carrying it``."""
+    values, counts = np.unique(graph.labels, return_counts=True)
+    return dict(zip(values.tolist(), counts.tolist()))
+
+
+class GraphStats:
+    """Precomputed statistics of a data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph ``G``.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    @cached_property
+    def label_counts(self) -> dict[int, int]:
+        """Frequency of each label in ``G``."""
+        return label_histogram(self.graph)
+
+    @cached_property
+    def sorted_degrees(self) -> np.ndarray:
+        """All vertex degrees in ascending order (for fast rank queries)."""
+        return np.sort(self.graph.degrees)
+
+    def count_degree_greater(self, d: int) -> int:
+        """``|{v in G : d(v) > d}|`` — feature ``h_u(4)`` numerator."""
+        idx = np.searchsorted(self.sorted_degrees, d, side="right")
+        return int(self.sorted_degrees.size - idx)
+
+    def label_frequency(self, lab: int) -> int:
+        """``|{v in G : L(v) = lab}|`` — feature ``h_u(5)`` numerator."""
+        return self.label_counts.get(int(lab), 0)
+
+    def edge_label_frequency(self, lab_u: int, lab_v: int) -> int:
+        """Number of data edges whose endpoint labels match ``{lab_u, lab_v}``.
+
+        Used by the QuickSI infrequent-edge-first ordering.  Computed lazily
+        and cached per unordered label pair.
+        """
+        key = (lab_u, lab_v) if lab_u <= lab_v else (lab_v, lab_u)
+        cache = self._edge_label_cache
+        if key not in cache:
+            count = 0
+            want = set(key)
+            g = self.graph
+            for u, v in g.edges():
+                if {g.label(u), g.label(v)} == want or (
+                    g.label(u) == g.label(v) == key[0] == key[1]
+                ):
+                    count += 1
+            cache[key] = count
+        return cache[key]
+
+    @cached_property
+    def _edge_label_cache(self) -> dict[tuple[int, int], int]:
+        return {}
+
+    @cached_property
+    def profiles(self) -> list[tuple[int, ...]]:
+        """GQL profile of each data vertex.
+
+        The profile of ``v`` is the lexicographically sorted multiset of
+        labels of ``v`` and its neighbours (Sec. II-C, candidate generation
+        of Hybrid).
+        """
+        g = self.graph
+        return [
+            tuple(sorted([g.label(v)] + g.neighbor_labels(v)))
+            for v in g.vertices()
+        ]

@@ -1,0 +1,69 @@
+"""Structural validation helpers for graphs and matching orders.
+
+These checks back the library's invariants and are reused by tests: a
+matching order must be a permutation of ``V(q)`` and connected (each vertex
+after the first has a backward neighbour, Def. II.4 / the action-space
+constraint of Sec. III-D).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import InvalidGraphError, InvalidOrderError
+from repro.graphs.graph import Graph
+
+__all__ = ["check_graph", "check_order", "is_connected_order"]
+
+
+def check_graph(graph: Graph) -> None:
+    """Raise :class:`InvalidGraphError` if internal invariants are broken."""
+    n = graph.num_vertices
+    seen_edges = 0
+    for v in graph.vertices():
+        nbrs = graph.neighbors(v)
+        if len(set(nbrs.tolist())) != nbrs.size:
+            raise InvalidGraphError(f"duplicate neighbours at vertex {v}")
+        for u in nbrs:
+            u = int(u)
+            if not 0 <= u < n:
+                raise InvalidGraphError(f"neighbour {u} of {v} out of range")
+            if u == v:
+                raise InvalidGraphError(f"self loop at {v}")
+            if v not in graph.neighbor_set(u):
+                raise InvalidGraphError(f"asymmetric edge ({v}, {u})")
+        seen_edges += nbrs.size
+    if seen_edges != 2 * graph.num_edges:
+        raise InvalidGraphError(
+            f"edge count mismatch: adjacency lists {seen_edges // 2}, "
+            f"num_edges {graph.num_edges}"
+        )
+
+
+def is_connected_order(query: Graph, order: Sequence[int]) -> bool:
+    """Whether each vertex after the first has a neighbour earlier in ``order``."""
+    placed: set[int] = set()
+    for i, u in enumerate(order):
+        if i > 0 and not (query.neighbor_set(u) & placed):
+            return False
+        placed.add(u)
+    return True
+
+
+def check_order(query: Graph, order: Sequence[int], *, connected: bool = True) -> None:
+    """Validate a matching order ``φ`` for ``query``.
+
+    Raises
+    ------
+    InvalidOrderError
+        If ``order`` is not a permutation of ``V(q)`` or (when ``connected``
+        and the query itself is connected) violates the connectivity
+        constraint.
+    """
+    order = [int(u) for u in order]
+    if sorted(order) != list(range(query.num_vertices)):
+        raise InvalidOrderError(
+            f"order {order} is not a permutation of 0..{query.num_vertices - 1}"
+        )
+    if connected and query.is_connected() and not is_connected_order(query, order):
+        raise InvalidOrderError(f"order {order} is not connected")

@@ -1,0 +1,62 @@
+"""Subgraph matching substrate: filters, orderings, enumeration, engine."""
+
+from repro.matching.bipartite import has_semi_perfect_matching, hopcroft_karp
+from repro.matching.candidate_space import CandidateSpace
+from repro.matching.candidates import CandidateFilter, CandidateSets
+from repro.matching.engine import MatchingEngine, MatchResult
+from repro.matching.enumeration import EnumerationResult, Enumerator
+from repro.matching.filters import (
+    FILTERS,
+    CFLFilter,
+    DPisoFilter,
+    GQLFilter,
+    LDFFilter,
+    NLFFilter,
+)
+from repro.matching.cost import estimate_order_cost, rank_orders
+from repro.matching.verify import explain_embedding, is_valid_embedding, verify_all
+from repro.matching.ordering import (
+    ORDERERS,
+    CFLOrderer,
+    GQLOrderer,
+    OptimalOrderer,
+    Orderer,
+    QSIOrderer,
+    RandomOrderer,
+    RIOrderer,
+    VEQOrderer,
+    VF2PPOrderer,
+)
+
+__all__ = [
+    "CFLFilter",
+    "CFLOrderer",
+    "CandidateFilter",
+    "CandidateSets",
+    "CandidateSpace",
+    "DPisoFilter",
+    "EnumerationResult",
+    "Enumerator",
+    "FILTERS",
+    "GQLFilter",
+    "GQLOrderer",
+    "LDFFilter",
+    "MatchResult",
+    "MatchingEngine",
+    "NLFFilter",
+    "ORDERERS",
+    "OptimalOrderer",
+    "Orderer",
+    "QSIOrderer",
+    "RIOrderer",
+    "RandomOrderer",
+    "VEQOrderer",
+    "VF2PPOrderer",
+    "estimate_order_cost",
+    "explain_embedding",
+    "has_semi_perfect_matching",
+    "hopcroft_karp",
+    "is_valid_embedding",
+    "rank_orders",
+    "verify_all",
+]

@@ -1,0 +1,90 @@
+"""Maximum bipartite matching (Hopcroft–Karp) for GQL global refinement.
+
+GraphQL's global refinement (Sec. II-C) keeps data vertex ``v`` in ``C(u)``
+only if the bipartite graph between ``N(u)`` and ``N(v)`` — with an edge
+``(u', v')`` whenever ``v' ∈ C(u')`` — admits a *semi-perfect* matching,
+i.e. one saturating every vertex of ``N(u)``.  (The paper's text phrases
+the saturated side as ``N(v)``; saturating the query side ``N(u)`` is the
+condition that makes refinement sound for finding embeddings of q, and is
+what the GraphQL algorithm computes.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+__all__ = ["hopcroft_karp", "has_semi_perfect_matching"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(adjacency: Sequence[Sequence[int]], num_right: int) -> int:
+    """Size of a maximum matching in a bipartite graph.
+
+    Parameters
+    ----------
+    adjacency:
+        ``adjacency[i]`` lists the right-side vertices adjacent to left
+        vertex ``i``; left vertices are ``0..len(adjacency)-1``.
+    num_right:
+        Number of right-side vertices.
+
+    Returns
+    -------
+    int
+        The maximum matching cardinality.  Runs in ``O(E sqrt(V))``.
+    """
+    num_left = len(adjacency)
+    match_left = [-1] * num_left
+    match_right = [-1] * num_right
+    dist = [0.0] * num_left
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(num_left):
+            if match_left[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    matching = 0
+    while bfs():
+        for u in range(num_left):
+            if match_left[u] == -1 and dfs(u):
+                matching += 1
+    return matching
+
+
+def has_semi_perfect_matching(
+    adjacency: Sequence[Sequence[int]], num_right: int
+) -> bool:
+    """Whether a matching saturating every left vertex exists."""
+    num_left = len(adjacency)
+    if num_left > num_right:
+        return False
+    if any(len(nbrs) == 0 for nbrs in adjacency):
+        return False
+    return hopcroft_karp(adjacency, num_right) == num_left

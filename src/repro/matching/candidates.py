@@ -1,0 +1,106 @@
+"""Candidate vertex sets (Def. II.2) and the filter interface.
+
+Phase (1) of the generic backtracking framework (Algorithm 1) produces a
+*complete* candidate set ``C(u)`` for every query vertex: any data vertex
+participating in some embedding must survive filtering.  Filters here only
+ever *shrink* candidate sets, so completeness is preserved by construction
+as long as the base rule (label match + degree) is complete — which it is
+for subgraph isomorphism.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import FilterError
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+
+__all__ = ["CandidateSets", "CandidateFilter"]
+
+
+class CandidateSets:
+    """Per-query-vertex candidate sets ``C(u)``.
+
+    Stores each ``C(u)`` both as a frozenset (membership tests in the
+    enumeration hot loop) and as a sorted array (deterministic iteration).
+    """
+
+    __slots__ = ("_sets", "_arrays")
+
+    def __init__(self, sets: Sequence[Iterable[int]]):
+        self._sets: list[frozenset[int]] = [frozenset(int(v) for v in s) for s in sets]
+        self._arrays: list[np.ndarray] = []
+        for s in self._sets:
+            arr = np.fromiter(s, dtype=np.int64, count=len(s))
+            arr.sort()
+            arr.setflags(write=False)
+            self._arrays.append(arr)
+
+    @property
+    def num_query_vertices(self) -> int:
+        """Number of query vertices covered."""
+        return len(self._sets)
+
+    def get(self, u: int) -> frozenset[int]:
+        """Candidate set ``C(u)`` as a frozenset."""
+        return self._sets[u]
+
+    def array(self, u: int) -> np.ndarray:
+        """Candidate set ``C(u)`` as a sorted array."""
+        return self._arrays[u]
+
+    def size(self, u: int) -> int:
+        """``|C(u)|``."""
+        return len(self._sets[u])
+
+    def sizes(self) -> list[int]:
+        """All candidate set sizes indexed by query vertex."""
+        return [len(s) for s in self._sets]
+
+    def total_size(self) -> int:
+        """Sum of all candidate set sizes."""
+        return sum(len(s) for s in self._sets)
+
+    def has_empty(self) -> bool:
+        """Whether any ``C(u)`` is empty (query has no match)."""
+        return any(not s for s in self._sets)
+
+    def contains(self, u: int, v: int) -> bool:
+        """Whether data vertex ``v`` is in ``C(u)``."""
+        return v in self._sets[u]
+
+    def restricted(self, u: int, keep: Iterable[int]) -> "CandidateSets":
+        """A copy with ``C(u)`` intersected with ``keep`` (others unchanged)."""
+        new_sets = list(self._sets)
+        new_sets[u] = self._sets[u] & frozenset(keep)
+        return CandidateSets(new_sets)
+
+    def __iter__(self):
+        return iter(self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CandidateSets(sizes={self.sizes()})"
+
+
+class CandidateFilter(abc.ABC):
+    """Interface for Phase (1) candidate generation strategies."""
+
+    #: Short identifier used in benchmark tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def filter(
+        self, query: Graph, data: Graph, stats: GraphStats | None = None
+    ) -> CandidateSets:
+        """Compute complete candidate sets for ``query`` against ``data``."""
+
+    def _require_stats(self, data: Graph, stats: GraphStats | None) -> GraphStats:
+        if stats is None:
+            return GraphStats(data)
+        if stats.graph is not data:
+            raise FilterError("GraphStats instance does not belong to this data graph")
+        return stats

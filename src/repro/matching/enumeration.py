@@ -1,0 +1,237 @@
+"""Backtracking enumeration procedure (Algorithm 2, Def. II.5–II.6).
+
+Given a query graph, data graph, candidate sets and a matching order
+``φ``, :class:`Enumerator` recursively extends partial embeddings.  At
+position ``i`` it maps ``u = φ[i]`` to each vertex of the local candidate
+set (Line 6): candidates of ``u`` adjacent to the images of all backward
+neighbours ``N^φ_+(u)`` and not already used (injectivity).
+
+``#enum`` counts the recursive calls of the procedure — the paper's
+order-quality metric (Def. II.6).  The enumerator honours a match limit
+(the paper caps runs at the first 10^5 matches) and a wall-clock deadline
+(the paper's 500 s limit), reporting both in the result.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import EnumerationError
+from repro.graphs.graph import Graph
+from repro.graphs.validation import check_order
+from repro.matching.candidates import CandidateSets
+
+__all__ = ["EnumerationResult", "Enumerator"]
+
+
+@dataclass(frozen=True)
+class EnumerationResult:
+    """Outcome of one enumeration run.
+
+    Attributes
+    ----------
+    num_matches:
+        Number of embeddings found (possibly truncated by the limits).
+    num_enumerations:
+        ``#enum`` — recursive calls performed (Def. II.6).
+    elapsed:
+        Wall-clock seconds spent inside the procedure.
+    timed_out:
+        Whether the deadline fired before the search space was exhausted.
+    limit_reached:
+        Whether the match limit fired.
+    matches:
+        The embeddings as tuples indexed by *query vertex id* (``m[u]`` is
+        the image of ``u``), recorded only when requested.
+    """
+
+    num_matches: int
+    num_enumerations: int
+    elapsed: float
+    timed_out: bool
+    limit_reached: bool
+    matches: tuple[tuple[int, ...], ...] = field(default=())
+
+    @property
+    def complete(self) -> bool:
+        """Whether the whole search space was explored."""
+        return not (self.timed_out or self.limit_reached)
+
+
+class _Stop(Exception):
+    """Internal: unwinds the recursion when a limit or deadline fires."""
+
+
+class Enumerator:
+    """Recursive backtracking enumerator with limits.
+
+    Parameters
+    ----------
+    match_limit:
+        Stop after this many embeddings (``None`` = find all).
+    time_limit:
+        Wall-clock budget in seconds (``None`` = unlimited).
+    record_matches:
+        Whether to materialize embeddings (off for pure counting runs).
+    check_every:
+        Deadline check cadence, in recursive calls.
+    """
+
+    def __init__(
+        self,
+        match_limit: int | None = 100_000,
+        time_limit: float | None = None,
+        record_matches: bool = False,
+        check_every: int = 2048,
+        use_candidate_space: bool = False,
+    ):
+        if match_limit is not None and match_limit < 1:
+            raise EnumerationError("match_limit must be >= 1 or None")
+        if time_limit is not None and time_limit <= 0:
+            raise EnumerationError("time_limit must be positive or None")
+        self.match_limit = match_limit
+        self.time_limit = time_limit
+        self.record_matches = record_matches
+        self.check_every = max(1, check_every)
+        #: Precompute a CECI/DP-iso-style per-edge candidate index and use
+        #: it for local-candidate computation.  Same match set and #enum;
+        #: trades index build time for cheaper recursion steps.
+        self.use_candidate_space = use_candidate_space
+
+    def run(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        order: Sequence[int],
+    ) -> EnumerationResult:
+        """Enumerate embeddings of ``query`` in ``data`` along ``order``."""
+        order = [int(u) for u in order]
+        check_order(query, order, connected=False)
+        if candidates.num_query_vertices != query.num_vertices:
+            raise EnumerationError("candidate sets do not cover the query")
+
+        n = query.num_vertices
+        start_time = time.perf_counter()
+        if n == 0:
+            return EnumerationResult(1, 1, 0.0, False, False, ((),))
+
+        position = {u: i for i, u in enumerate(order)}
+        # Backward neighbours by *position* in the order.
+        backward: list[list[int]] = []
+        for i, u in enumerate(order):
+            backward.append(
+                sorted(position[int(v)] for v in query.neighbors(u) if position[int(v)] < i)
+            )
+
+        cand_sets = [candidates.get(u) for u in order]
+        cand_arrays = [candidates.array(u) for u in order]
+        neighbor_set = data.neighbor_set
+        neighbors = data.neighbors
+        degree = data.degree
+        candidate_space = None
+        if self.use_candidate_space:
+            from repro.matching.candidate_space import CandidateSpace
+
+            candidate_space = CandidateSpace(query, data, candidates)
+
+        images: list[int] = [-1] * n
+        used: set[int] = set()
+        matches: list[tuple[int, ...]] = []
+        state = {"enum": 0, "found": 0, "timed_out": False, "limited": False}
+        deadline = (
+            start_time + self.time_limit if self.time_limit is not None else None
+        )
+        match_limit = self.match_limit
+        check_every = self.check_every
+        record = self.record_matches
+
+        def recurse(i: int) -> None:
+            state["enum"] += 1
+            if deadline is not None and state["enum"] % check_every == 0:
+                if time.perf_counter() > deadline:
+                    state["timed_out"] = True
+                    raise _Stop
+            if i == n:
+                state["found"] += 1
+                if record:
+                    by_query_vertex = [0] * n
+                    for pos, u in enumerate(order):
+                        by_query_vertex[u] = images[pos]
+                    matches.append(tuple(by_query_vertex))
+                if match_limit is not None and state["found"] >= match_limit:
+                    state["limited"] = True
+                    raise _Stop
+                return
+
+            backs = backward[i]
+            if not backs:
+                # No mapped backward neighbour: iterate the candidate array.
+                for v in cand_arrays[i]:
+                    v = int(v)
+                    if v in used:
+                        continue
+                    images[i] = v
+                    used.add(v)
+                    recurse(i + 1)
+                    used.discard(v)
+                images[i] = -1
+                return
+
+            if candidate_space is not None:
+                # CECI/DP-iso path: intersect precomputed per-edge
+                # candidate adjacency lists.
+                u = order[i]
+                mapped = [(order[b], images[b]) for b in backs]
+                for v in candidate_space.local_candidates(u, mapped):
+                    if v in used:
+                        continue
+                    images[i] = v
+                    used.add(v)
+                    recurse(i + 1)
+                    used.discard(v)
+                images[i] = -1
+                return
+
+            # Local candidates: neighbours of the lowest-degree backward
+            # image, filtered by candidate membership, other adjacencies
+            # and injectivity (Line 6 of Algorithm 2).
+            imgs = [images[b] for b in backs]
+            pivot_idx = 0
+            if len(imgs) > 1:
+                pivot_idx = min(range(len(imgs)), key=lambda k: degree(imgs[k]))
+            pivot = imgs[pivot_idx]
+            others = imgs[:pivot_idx] + imgs[pivot_idx + 1 :]
+            cset = cand_sets[i]
+            for v in neighbors(pivot):
+                v = int(v)
+                if v not in cset or v in used:
+                    continue
+                ok = True
+                for w in others:
+                    if v not in neighbor_set(w):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                images[i] = v
+                used.add(v)
+                recurse(i + 1)
+                used.discard(v)
+            images[i] = -1
+
+        try:
+            recurse(0)
+        except _Stop:
+            pass
+        elapsed = time.perf_counter() - start_time
+        return EnumerationResult(
+            num_matches=state["found"],
+            num_enumerations=state["enum"],
+            elapsed=elapsed,
+            timed_out=state["timed_out"],
+            limit_reached=state["limited"],
+            matches=tuple(matches),
+        )

@@ -1,0 +1,105 @@
+"""CFL-style BFS-tree candidate filter.
+
+CFL (Bi et al., SIGMOD'16) builds a BFS tree of the query rooted at the
+vertex minimizing ``|C(u)| / d(u)`` and refines candidates top-down then
+bottom-up along tree edges: a candidate of ``u`` survives only if every
+tree-neighbour ``u'`` has an adjacent candidate in ``C(u')``.  We run the
+two sweeps over *all* query edges between adjacent BFS levels (a superset
+of the tree edges), which prunes at least as much while remaining complete:
+any embedding maps adjacent query vertices to adjacent data vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.candidates import CandidateFilter, CandidateSets
+from repro.matching.filters.nlf import NLFFilter
+
+__all__ = ["CFLFilter"]
+
+
+class CFLFilter(CandidateFilter):
+    """BFS-tree top-down / bottom-up refinement filter."""
+
+    name = "cfl"
+
+    def __init__(self, sweeps: int = 2):
+        self.sweeps = sweeps
+
+    def filter(
+        self, query: Graph, data: Graph, stats: GraphStats | None = None
+    ) -> CandidateSets:
+        stats = self._require_stats(data, stats)
+        base = NLFFilter().filter(query, data, stats)
+        candidate_sets: list[set[int]] = [set(base.get(u)) for u in query.vertices()]
+
+        root = self._select_root(query, base, stats)
+        levels = self._bfs_levels(query, root)
+
+        for _ in range(self.sweeps):
+            changed = False
+            # Top-down: parents constrain children.
+            for level in levels[1:]:
+                for u in level:
+                    changed |= self._refine_vertex(query, data, u, candidate_sets)
+            # Bottom-up: children constrain parents.
+            for level in reversed(levels[:-1]):
+                for u in level:
+                    changed |= self._refine_vertex(query, data, u, candidate_sets)
+            if not changed:
+                break
+        return CandidateSets(candidate_sets)
+
+    @staticmethod
+    def _select_root(query: Graph, base: CandidateSets, stats: GraphStats) -> int:
+        def score(u: int) -> float:
+            deg = max(query.degree(u), 1)
+            return base.size(u) / deg
+
+        return min(query.vertices(), key=score)
+
+    @staticmethod
+    def _bfs_levels(query: Graph, root: int) -> list[list[int]]:
+        seen = {root}
+        levels = [[root]]
+        frontier = deque([root])
+        current: list[int] = []
+        while frontier:
+            next_frontier: deque[int] = deque()
+            current = []
+            for u in frontier:
+                for v in query.neighbors(u):
+                    v = int(v)
+                    if v not in seen:
+                        seen.add(v)
+                        current.append(v)
+                        next_frontier.append(v)
+            if current:
+                levels.append(current)
+            frontier = next_frontier
+        # Disconnected queries: append remaining vertices as their own level.
+        rest = [u for u in query.vertices() if u not in seen]
+        if rest:
+            levels.append(rest)
+        return levels
+
+    @staticmethod
+    def _refine_vertex(
+        query: Graph, data: Graph, u: int, candidate_sets: list[set[int]]
+    ) -> bool:
+        """Drop candidates of ``u`` with no adjacent candidate for some neighbour."""
+        removals = []
+        for v in candidate_sets[u]:
+            v_nbrs = data.neighbor_set(v)
+            for u_prime in query.neighbors(u):
+                cand = candidate_sets[int(u_prime)]
+                if not any(w in cand for w in v_nbrs):
+                    removals.append(v)
+                    break
+        if removals:
+            candidate_sets[u].difference_update(removals)
+            return True
+        return False

@@ -1,0 +1,109 @@
+"""DP-iso / VEQ-style DAG dynamic-programming filter.
+
+DP-iso (Han et al., SIGMOD'19) and VEQ (Kim et al., SIGMOD'21) build a
+query DAG by directing edges from a root outward (BFS order, ties broken
+by rarer label then higher degree) and refine candidates with dynamic
+programming alternating between the DAG and its reverse: ``v`` survives in
+``C(u)`` only if for *every* DAG parent (resp. child) ``u'`` of ``u`` some
+candidate of ``u'`` is adjacent to ``v``.  Iterating both directions to a
+fixpoint yields the "candidate space" the two papers search.
+
+Completeness: any embedding maps each DAG-adjacent pair to an adjacent
+data pair, so a vertex violating the rule is in no embedding.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.candidates import CandidateFilter, CandidateSets
+from repro.matching.filters.ldf import LDFFilter
+
+__all__ = ["DPisoFilter"]
+
+
+class DPisoFilter(CandidateFilter):
+    """DAG-DP candidate refinement (DP-iso / VEQ style)."""
+
+    name = "dpiso"
+
+    def __init__(self, max_rounds: int = 3):
+        self.max_rounds = max_rounds
+
+    def filter(
+        self, query: Graph, data: Graph, stats: GraphStats | None = None
+    ) -> CandidateSets:
+        stats = self._require_stats(data, stats)
+        base = LDFFilter().filter(query, data, stats)
+        candidate_sets: list[set[int]] = [set(base.get(u)) for u in query.vertices()]
+
+        order = self._dag_order(query, stats, base)
+        position = {u: i for i, u in enumerate(order)}
+        parents: list[list[int]] = [[] for _ in query.vertices()]
+        children: list[list[int]] = [[] for _ in query.vertices()]
+        for u in query.vertices():
+            for v in query.neighbors(u):
+                v = int(v)
+                if position[u] < position[v]:
+                    children[u].append(v)
+                    parents[v].append(u)
+
+        for _ in range(self.max_rounds):
+            changed = self._sweep(query, data, order, parents, candidate_sets)
+            changed |= self._sweep(
+                query, data, list(reversed(order)), children, candidate_sets
+            )
+            if not changed:
+                break
+        return CandidateSets(candidate_sets)
+
+    @staticmethod
+    def _dag_order(query: Graph, stats: GraphStats, base: CandidateSets) -> list[int]:
+        """BFS order from the most selective root (rarest label, max degree)."""
+
+        def root_key(u: int) -> tuple[int, int]:
+            return (base.size(u), -query.degree(u))
+
+        root = min(query.vertices(), key=root_key)
+        order = [root]
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            next_frontier: list[int] = []
+            for u in frontier:
+                nbrs = sorted(
+                    (int(v) for v in query.neighbors(u) if int(v) not in seen),
+                    key=root_key,
+                )
+                for v in nbrs:
+                    seen.add(v)
+                    order.append(v)
+                    next_frontier.append(v)
+            frontier = next_frontier
+        order.extend(u for u in query.vertices() if u not in seen)
+        return order
+
+    @staticmethod
+    def _sweep(
+        query: Graph,
+        data: Graph,
+        order: list[int],
+        constrainers: list[list[int]],
+        candidate_sets: list[set[int]],
+    ) -> bool:
+        changed = False
+        for u in order:
+            if not constrainers[u]:
+                continue
+            removals = []
+            for v in candidate_sets[u]:
+                v_nbrs = data.neighbor_set(v)
+                for u_prime in constrainers[u]:
+                    cand = candidate_sets[u_prime]
+                    if not any(w in cand for w in v_nbrs):
+                        removals.append(v)
+                        break
+            if removals:
+                candidate_sets[u].difference_update(removals)
+                changed = True
+        return changed

@@ -1,0 +1,113 @@
+"""GraphQL candidate filter — local pruning + global refinement.
+
+This is the filter used by Hybrid (Sec. II-C) and therefore by RL-QVO:
+
+1. *Local pruning*: the profile of a vertex is the sorted multiset of
+   labels of its closed neighbourhood.  ``v`` enters ``C(u)`` if the
+   profile of ``u`` is a sub-multiset of the profile of ``v`` (the paper
+   phrases this as a lexicographic sub-sequence test — equivalent for
+   sorted label sequences).
+2. *Global refinement*: repeatedly drop ``v`` from ``C(u)`` when the
+   bipartite graph between ``N(u)`` and ``N(v)`` (edge iff ``v' ∈ C(u')``)
+   has no matching saturating ``N(u)``, until a fixpoint or a bounded
+   number of rounds.
+
+Both steps only remove vertices that cannot take part in any embedding, so
+completeness is preserved.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.bipartite import has_semi_perfect_matching
+from repro.matching.candidates import CandidateFilter, CandidateSets
+
+__all__ = ["GQLFilter"]
+
+
+def _is_sub_multiset(small: Counter[int], big: Counter[int]) -> bool:
+    return all(big.get(lab, 0) >= cnt for lab, cnt in small.items())
+
+
+class GQLFilter(CandidateFilter):
+    """GraphQL profile filter with semi-perfect-matching refinement.
+
+    Parameters
+    ----------
+    refinement_rounds:
+        Maximum number of global-refinement sweeps (GraphQL uses a small
+        constant; the fixpoint is usually reached in 2–3 rounds).
+    """
+
+    name = "gql"
+
+    def __init__(self, refinement_rounds: int = 3):
+        self.refinement_rounds = refinement_rounds
+
+    def filter(
+        self, query: Graph, data: Graph, stats: GraphStats | None = None
+    ) -> CandidateSets:
+        stats = self._require_stats(data, stats)
+
+        query_profiles = [
+            Counter([query.label(u)] + query.neighbor_labels(u))
+            for u in query.vertices()
+        ]
+        data_profiles = stats.profiles
+
+        candidate_sets: list[set[int]] = []
+        for u in query.vertices():
+            lab, deg = query.label(u), query.degree(u)
+            profile_u = query_profiles[u]
+            survivors = {
+                int(v)
+                for v in data.vertices_with_label(lab)
+                if data.degree(int(v)) >= deg
+                and _is_sub_multiset(profile_u, Counter(data_profiles[int(v)]))
+            }
+            candidate_sets.append(survivors)
+
+        for _ in range(self.refinement_rounds):
+            changed = self._refine_once(query, data, candidate_sets)
+            if not changed:
+                break
+        return CandidateSets(candidate_sets)
+
+    def _refine_once(
+        self, query: Graph, data: Graph, candidate_sets: list[set[int]]
+    ) -> bool:
+        """One sweep of global refinement; returns whether anything changed."""
+        changed = False
+        for u in query.vertices():
+            query_nbrs = [int(x) for x in query.neighbors(u)]
+            if not query_nbrs:
+                continue
+            removals = []
+            for v in candidate_sets[u]:
+                if not self._semi_perfect(query_nbrs, data, v, candidate_sets):
+                    removals.append(v)
+            if removals:
+                candidate_sets[u].difference_update(removals)
+                changed = True
+        return changed
+
+    @staticmethod
+    def _semi_perfect(
+        query_nbrs: list[int],
+        data: Graph,
+        v: int,
+        candidate_sets: list[set[int]],
+    ) -> bool:
+        data_nbrs = [int(x) for x in data.neighbors(v)]
+        index = {w: i for i, w in enumerate(data_nbrs)}
+        adjacency = []
+        for u_prime in query_nbrs:
+            cand = candidate_sets[u_prime]
+            row = [index[w] for w in data_nbrs if w in cand]
+            if not row:
+                return False
+            adjacency.append(row)
+        return has_semi_perfect_matching(adjacency, len(data_nbrs))

@@ -1,0 +1,32 @@
+"""Label-and-degree filter (LDF) — the universal base rule.
+
+``C(u) = { v in V(G) : L(v) = L(u) and d(v) >= d(u) }``.
+
+Every embedding maps ``u`` to a same-label vertex of at-least-equal degree,
+so LDF is complete; all stronger filters start from it.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.candidates import CandidateFilter, CandidateSets
+
+__all__ = ["LDFFilter"]
+
+
+class LDFFilter(CandidateFilter):
+    """Label-degree filter."""
+
+    name = "ldf"
+
+    def filter(
+        self, query: Graph, data: Graph, stats: GraphStats | None = None
+    ) -> CandidateSets:
+        sets = []
+        for u in query.vertices():
+            lab, deg = query.label(u), query.degree(u)
+            sets.append(
+                [int(v) for v in data.vertices_with_label(lab) if data.degree(int(v)) >= deg]
+            )
+        return CandidateSets(sets)

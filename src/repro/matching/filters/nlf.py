@@ -1,0 +1,51 @@
+"""Neighborhood label frequency filter (NLF).
+
+On top of LDF, ``v`` stays in ``C(u)`` only if for every label ``l`` the
+number of ``l``-labeled neighbours of ``v`` is at least the number of
+``l``-labeled neighbours of ``u``.  Any embedding maps ``N(u)`` injectively
+into ``N(v)`` preserving labels, so the rule is complete.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.candidates import CandidateFilter, CandidateSets
+
+__all__ = ["NLFFilter"]
+
+
+class NLFFilter(CandidateFilter):
+    """Neighborhood-label-frequency filter."""
+
+    name = "nlf"
+
+    def filter(
+        self, query: Graph, data: Graph, stats: GraphStats | None = None
+    ) -> CandidateSets:
+        query_nlf = [Counter(query.neighbor_labels(u)) for u in query.vertices()]
+        data_nlf_cache: dict[int, Counter[int]] = {}
+
+        def data_nlf(v: int) -> Counter[int]:
+            cached = data_nlf_cache.get(v)
+            if cached is None:
+                cached = Counter(data.neighbor_labels(v))
+                data_nlf_cache[v] = cached
+            return cached
+
+        sets = []
+        for u in query.vertices():
+            lab, deg = query.label(u), query.degree(u)
+            need = query_nlf[u]
+            survivors = []
+            for v in data.vertices_with_label(lab):
+                v = int(v)
+                if data.degree(v) < deg:
+                    continue
+                have = data_nlf(v)
+                if all(have.get(l, 0) >= c for l, c in need.items()):
+                    survivors.append(v)
+            sets.append(survivors)
+        return CandidateSets(sets)

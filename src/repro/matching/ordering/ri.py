@@ -1,0 +1,88 @@
+"""RI ordering (Bonnici et al. [16]) — the state-of-the-art heuristic.
+
+RI uses only the structure of the query graph (Sec. II-C):
+
+* start from the vertex with maximum degree;
+* repeatedly add the unordered vertex with the most neighbours already in
+  ``φ_t``;
+* break ties by (1) ``|u_neig|`` — the number of ordered vertices that are
+  adjacent to ``u`` *and* have a neighbour outside ``φ_t``; then (2)
+  ``|u_unv|`` — the number of ``u``'s neighbours that are unordered and not
+  adjacent to any ordered vertex; remaining ties are broken arbitrarily
+  (here: by vertex id for determinism, or uniformly when an ``rng`` is
+  supplied, matching the paper's observation that RI "selects randomly").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.candidates import CandidateSets
+from repro.matching.ordering.base import Orderer
+
+__all__ = ["RIOrderer"]
+
+
+class RIOrderer(Orderer):
+    """Structure-only greedy ordering of RI."""
+
+    name = "ri"
+
+    def order(
+        self,
+        query: Graph,
+        data: Graph | None = None,
+        candidates: CandidateSets | None = None,
+        stats: GraphStats | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[int]:
+        n = query.num_vertices
+        if n == 0:
+            return []
+        degrees = query.degrees
+
+        def pick(choices: list[int], keys: list[tuple]) -> int:
+            best = max(keys)
+            tied = [c for c, k in zip(choices, keys) if k == best]
+            if len(tied) > 1 and rng is not None:
+                return int(tied[rng.integers(0, len(tied))])
+            return min(tied)
+
+        first_choices = list(range(n))
+        first_keys = [(int(degrees[u]),) for u in first_choices]
+        phi = [pick(first_choices, first_keys)]
+        ordered: set[int] = set(phi)
+
+        while len(phi) < n:
+            remaining = [u for u in range(n) if u not in ordered]
+            keys = []
+            for u in remaining:
+                nbrs_u = query.neighbor_set(u)
+                ordered_nbrs = len(nbrs_u & ordered)
+                u_neig = sum(
+                    1
+                    for w in ordered
+                    if w in nbrs_u
+                    and any(x not in ordered for x in query.neighbor_set(w))
+                )
+                u_unv = sum(
+                    1
+                    for x in nbrs_u
+                    if x not in ordered
+                    and not (query.neighbor_set(x) & ordered)
+                )
+                keys.append((ordered_nbrs, u_neig, u_unv))
+            # Prefer connected extensions: candidates with ordered_nbrs == 0
+            # are only taken when no connected vertex remains.
+            connected = [
+                (u, k) for u, k in zip(remaining, keys) if k[0] > 0
+            ]
+            if connected:
+                remaining = [u for u, _ in connected]
+                keys = [k for _, k in connected]
+            nxt = pick(remaining, keys)
+            phi.append(nxt)
+            ordered.add(nxt)
+        return phi

@@ -1,0 +1,58 @@
+"""Minimal numpy autograd + GNN substrate (PyTorch replacement)."""
+
+from repro.nn.functional import (
+    concat,
+    dropout,
+    entropy,
+    log_softmax,
+    masked_softmax,
+    mse_loss,
+    softmax,
+)
+from repro.nn.gnn import (
+    GNN_LAYERS,
+    GATLayer,
+    GCNLayer,
+    GraphConvLayer,
+    GraphContext,
+    LEConvLayer,
+    SAGELayer,
+    make_gnn_layer,
+)
+from repro.nn.layers import Dropout, Linear, Module, ReLU, Sequential, Tanh
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.serialization import load_module, model_nbytes, save_module
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "GATLayer",
+    "GCNLayer",
+    "GNN_LAYERS",
+    "GraphContext",
+    "GraphConvLayer",
+    "LEConvLayer",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "ReLU",
+    "SAGELayer",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "concat",
+    "dropout",
+    "entropy",
+    "is_grad_enabled",
+    "load_module",
+    "log_softmax",
+    "make_gnn_layer",
+    "masked_softmax",
+    "model_nbytes",
+    "mse_loss",
+    "no_grad",
+    "save_module",
+    "softmax",
+]

@@ -1,0 +1,102 @@
+"""Functional ops composed from :class:`~repro.nn.tensor.Tensor` primitives.
+
+Notably the masked softmax of Eq. 4 — probability scores of vertices
+outside the action space are masked out before normalization — plus the
+entropy used by the exploration reward (Sec. III-C) and concat/dropout
+helpers used by the GNN variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "masked_softmax",
+    "softmax",
+    "log_softmax",
+    "entropy",
+    "concat",
+    "dropout",
+    "mse_loss",
+]
+
+_NEG_INF = -1e30
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits.data, axis=axis, keepdims=True)
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def masked_softmax(logits: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax over positions where ``mask`` is True (Eq. 4).
+
+    Masked-out entries get exactly zero probability and receive no
+    gradient.  Raises if the mask is all-False along the axis.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != logits.data.shape:
+        raise ModelError(
+            f"mask shape {mask.shape} != logits shape {logits.data.shape}"
+        )
+    if not np.all(mask.any(axis=axis)):
+        raise ModelError("masked_softmax: empty action space")
+    neg = Tensor(np.where(mask, 0.0, _NEG_INF))
+    shifted_logits = logits + neg
+    shifted = shifted_logits - np.max(shifted_logits.data, axis=axis, keepdims=True)
+    exps = shifted.exp() * Tensor(mask.astype(np.float64))
+    total = exps.sum(axis=axis, keepdims=True)
+    return exps / total
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax via the log-sum-exp trick."""
+    shifted = logits - np.max(logits.data, axis=axis, keepdims=True)
+    lse = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - lse
+
+def entropy(probs: Tensor, axis: int = -1) -> Tensor:
+    """Shannon entropy ``H(P) = -Σ p log p`` (0·log 0 treated as 0)."""
+    logp = probs.maximum(1e-12).log()
+    return -(probs * logp).sum(axis=axis)
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate along ``axis`` with gradient routing to each input."""
+    if not tensors:
+        raise ModelError("concat of zero tensors")
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(lo, hi)
+                t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: scales kept units by ``1/(1-p)`` during training."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ModelError("dropout probability must be < 1")
+    keep = (rng.random(x.data.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error (used by value-head experiments and tests)."""
+    target = Tensor.as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()

@@ -1,0 +1,41 @@
+"""Model persistence: state dicts saved as ``.npz`` archives.
+
+Table IV reports the model's on-disk parameter footprint (186.2 kB for the
+paper's default configuration); :func:`model_nbytes` reproduces that
+measurement for our models.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Module
+
+__all__ = ["save_module", "load_module", "model_nbytes"]
+
+
+def save_module(module: Module, path: str | os.PathLike[str]) -> None:
+    """Write a module's state dict to ``path`` (.npz)."""
+    state = module.state_dict()
+    if not state:
+        raise ModelError("module has no parameters to save")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | os.PathLike[str]) -> Module:
+    """Load a state dict saved by :func:`save_module` into ``module``."""
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module
+
+
+def model_nbytes(module: Module) -> int:
+    """In-memory parameter bytes (the paper's "Model Space", Table IV)."""
+    return module.parameter_bytes()

@@ -1,0 +1,120 @@
+"""The query-vertex-ordering MDP (Sec. III-C).
+
+State at step ``t``: the partial order ``φ_t`` plus the query feature
+matrix ``H_t`` (whose last two columns — remaining-count and ordered
+indicator — change per step).  Action space: neighbours of the ordered
+vertices not yet ordered, ``N(φ_t)``; at ``t = 0`` every vertex is
+available.  The episode ends when ``φ`` is a full permutation.
+
+The environment is reward-free: the dominant reward term (Δ#enum against
+the RI baseline) is only computable after the full order is known, so the
+trainer attaches rewards post-episode (see :mod:`repro.rl.reward`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.graphs.graph import Graph
+
+__all__ = ["OrderingState", "OrderingEnv"]
+
+
+class OrderingState:
+    """Immutable snapshot of the MDP state exposed to the policy."""
+
+    __slots__ = ("step", "order", "ordered_mask", "action_mask")
+
+    def __init__(
+        self,
+        step: int,
+        order: tuple[int, ...],
+        ordered_mask: np.ndarray,
+        action_mask: np.ndarray,
+    ):
+        self.step = step
+        self.order = order
+        self.ordered_mask = ordered_mask
+        self.action_mask = action_mask
+
+    @property
+    def action_space(self) -> np.ndarray:
+        """Vertex ids currently selectable."""
+        return np.flatnonzero(self.action_mask)
+
+
+class OrderingEnv:
+    """MDP over matching-order prefixes of one query graph."""
+
+    def __init__(self, query: Graph):
+        self.query = query
+        self._order: list[int] = []
+        self._ordered_mask = np.zeros(query.num_vertices, dtype=bool)
+        self._action_mask = np.ones(query.num_vertices, dtype=bool)
+        self._done = query.num_vertices == 0
+
+    def reset(self) -> OrderingState:
+        """Restart the episode; initially every vertex is selectable."""
+        n = self.query.num_vertices
+        self._order = []
+        self._ordered_mask = np.zeros(n, dtype=bool)
+        self._action_mask = np.ones(n, dtype=bool)
+        self._done = n == 0
+        return self.state()
+
+    def state(self) -> OrderingState:
+        """Current state snapshot."""
+        return OrderingState(
+            step=len(self._order),
+            order=tuple(self._order),
+            ordered_mask=self._ordered_mask.copy(),
+            action_mask=self._action_mask.copy(),
+        )
+
+    @property
+    def done(self) -> bool:
+        """Whether the full order has been generated."""
+        return self._done
+
+    @property
+    def order(self) -> list[int]:
+        """The order built so far."""
+        return list(self._order)
+
+    def step(self, action: int) -> OrderingState:
+        """Add ``action`` to the order; update masks (action-space update).
+
+        Raises
+        ------
+        TrainingError
+            If the episode is over or ``action`` is outside the action
+            space (the policy layer masks invalid vertices, so reaching
+            this is a programming error, not a learning failure).
+        """
+        if self._done:
+            raise TrainingError("step() on a finished episode")
+        action = int(action)
+        if not self._action_mask[action]:
+            raise TrainingError(f"vertex {action} is not in the action space")
+
+        self._order.append(action)
+        self._ordered_mask[action] = True
+
+        n = self.query.num_vertices
+        if len(self._order) == n:
+            self._done = True
+            self._action_mask = np.zeros(n, dtype=bool)
+        else:
+            mask = np.zeros(n, dtype=bool)
+            for u in self._order:
+                for v in self.query.neighbors(u):
+                    v = int(v)
+                    if not self._ordered_mask[v]:
+                        mask[v] = True
+            if not mask.any():
+                # Disconnected query: fall back to all unordered vertices so
+                # the episode can always finish.
+                mask = ~self._ordered_mask
+            self._action_mask = mask
+        return self.state()

@@ -1,0 +1,109 @@
+"""Reward design of RL-QVO (Sec. III-C, Eq. 1–2).
+
+Three components:
+
+* ``r_enum`` — shared across all steps of an episode: a squashed version
+  of the enumeration-count reduction against the baseline order
+  (``φ_base = φ_RI``).  The paper defines ``Δ#enum`` and applies a
+  gap-squashing ``f_enum`` "such as logarithm"; we use the sign-preserving
+  ``sign(#enum_base − #enum_learned) · log1p(|Δ|)`` so that *fewer*
+  enumerations than RI is positive reward.
+* ``r_val,t`` — step-wise: small positive if the *unmasked* argmax of the
+  policy scores lies in the action space, a larger negative otherwise.
+* ``r_h,t`` — step-wise entropy of the masked action distribution,
+  encouraging exploration.
+
+Eq. 1 combines them with coefficients ``β_val`` and ``β_h``; Eq. 2 sums
+``γ^t R_t`` so early (more important) ordering decisions weigh more.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "RewardConfig",
+    "enumeration_reward",
+    "validity_reward",
+    "step_rewards",
+    "discounted_return",
+]
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Coefficients of Eq. 1–2.
+
+    Attributes
+    ----------
+    beta_val / beta_h:
+        Coefficients of the validity and entropy rewards.
+    gamma:
+        Decay factor in (0, 1) weighting early steps higher (Eq. 2).
+    valid_bonus / invalid_penalty:
+        Step-wise validity reward values; the penalty exceeds the bonus in
+        absolute value as required by Sec. III-C.
+    fenum:
+        Gap-squashing function for Δ#enum: ``"log"`` (default —
+        ``sign(Δ)·log1p(|Δ|)``, absolute gaps, complex queries dominate),
+        ``"log_ratio"`` (``log(#enum_base / #enum_learned)``,
+        scale-invariant) or ``"linear"`` (raw Δ, ablation).
+    """
+
+    beta_val: float = 0.5
+    beta_h: float = 0.1
+    gamma: float = 0.95
+    valid_bonus: float = 0.1
+    invalid_penalty: float = -0.2
+    fenum: str = "log"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gamma < 1.0:
+            raise ValueError(f"gamma must be in (0, 1), got {self.gamma}")
+        if abs(self.invalid_penalty) <= abs(self.valid_bonus):
+            raise ValueError(
+                "invalid_penalty must exceed valid_bonus in absolute value"
+            )
+        if self.fenum not in ("log", "log_ratio", "linear"):
+            raise ValueError(f"unknown fenum {self.fenum!r}")
+
+
+def enumeration_reward(
+    enum_learned: int, enum_baseline: int, fenum: str = "log"
+) -> float:
+    """``r_enum`` — squashed enumeration reduction vs the baseline order."""
+    delta = enum_baseline - enum_learned
+    if fenum == "linear":
+        return float(delta)
+    if fenum == "log_ratio":
+        return math.log(max(enum_baseline, 1) / max(enum_learned, 1))
+    return math.copysign(math.log1p(abs(delta)), delta) if delta else 0.0
+
+
+def validity_reward(is_valid: bool, config: RewardConfig) -> float:
+    """``r_val,t`` — bonus for a valid unmasked argmax, penalty otherwise."""
+    return config.valid_bonus if is_valid else config.invalid_penalty
+
+
+def step_rewards(
+    renum: float,
+    validities: Sequence[bool],
+    entropies: Sequence[float],
+    config: RewardConfig,
+) -> list[float]:
+    """Per-step ``R_t`` (Eq. 1); ``r_enum`` is shared across all steps."""
+    if len(validities) != len(entropies):
+        raise ValueError("validities and entropies must align")
+    return [
+        renum
+        + config.beta_val * validity_reward(valid, config)
+        + config.beta_h * float(ent)
+        for valid, ent in zip(validities, entropies)
+    ]
+
+
+def discounted_return(rewards: Sequence[float], gamma: float) -> float:
+    """Eq. 2: ``R_q = Σ_t γ^t R_t`` (t starting at 1)."""
+    return sum(gamma**t * r for t, r in enumerate(rewards, start=1))

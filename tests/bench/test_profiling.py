@@ -1,0 +1,53 @@
+"""Tests for query-difficulty profiling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import profile_query, profile_workload
+from repro.graphs import Graph, GraphStats, erdos_renyi, extract_query
+
+
+@pytest.fixture(scope="module")
+def instance():
+    data = erdos_renyi(50, 140, 2, seed=71)
+    queries = [
+        extract_query(data, 4, np.random.default_rng(s)) for s in range(3)
+    ]
+    return data, GraphStats(data), queries
+
+
+class TestProfileQuery:
+    def test_profile_shape(self, instance):
+        data, stats, queries = instance
+        profile = profile_query(queries[0], data, stats)
+        assert profile.num_vertices == 4
+        assert len(profile.candidate_sizes) == 4
+        assert profile.min_candidates <= profile.max_candidates
+        assert math.isfinite(profile.estimated_cost)
+        assert set(profile.measured_enum) == {"ri", "gql", "random"}
+
+    def test_measure_can_be_disabled(self, instance):
+        data, stats, queries = instance
+        profile = profile_query(queries[0], data, stats, measure=False)
+        assert profile.measured_enum == {}
+        assert math.isnan(profile.order_sensitivity)
+
+    def test_order_sensitivity_at_least_one(self, instance):
+        data, stats, queries = instance
+        profile = profile_query(queries[0], data, stats)
+        assert profile.order_sensitivity >= 1.0
+
+    def test_impossible_query_profiles_cleanly(self, instance):
+        data, stats, _ = instance
+        impossible = Graph([99], [])
+        profile = profile_query(impossible, data, stats)
+        assert profile.min_candidates == 0
+        assert profile.measured_enum == {}
+
+
+def test_profile_workload(instance):
+    data, stats, queries = instance
+    profiles = profile_workload(queries, data, stats, measure=False)
+    assert len(profiles) == len(queries)

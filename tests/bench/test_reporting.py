@@ -1,0 +1,57 @@
+"""Tests for reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.bench import format_seconds, format_table, geometric_mean, percentile_series
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(5e-7) == "0.5µs"
+        assert format_seconds(2.5e-3) == "2.5ms"
+        assert format_seconds(1.75) == "1.75s"
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "-"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data rows have equal width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_floor_guards_zero(self):
+        assert geometric_mean([0.0, 1.0]) > 0.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+
+class TestPercentileSeries:
+    def test_monotone_output(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        series = percentile_series(values, (0, 50, 100))
+        assert series[0][1] == 1.0
+        assert series[-1][1] == 5.0
+        assert series[0][1] <= series[1][1] <= series[2][1]
+
+    def test_empty_values(self):
+        series = percentile_series([], (50,))
+        assert math.isnan(series[0][1])

@@ -1,0 +1,49 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graphs import Graph, GraphStats, chung_lu, erdos_renyi, generate_query_set
+
+# Property tests stay fast and deterministic-ish: bounded examples, no
+# wall-clock deadline (CI machines vary).
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def data_graph() -> Graph:
+    """A mid-sized power-law data graph shared across tests."""
+    return chung_lu(800, 6.0, 8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def data_stats(data_graph: Graph) -> GraphStats:
+    """Precomputed stats for :func:`data_graph`."""
+    return GraphStats(data_graph)
+
+
+@pytest.fixture(scope="session")
+def dense_graph() -> Graph:
+    """A small dense uniform graph (many embeddings per query)."""
+    return erdos_renyi(60, 300, 3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def queries(data_graph: Graph) -> list[Graph]:
+    """Six 6-vertex connected queries extracted from :func:`data_graph`."""
+    return generate_query_set(data_graph, 6, 6, seed=21)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh seeded RNG per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,67 @@
+"""Tests for best-checkpoint tracking in the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import RLQVOConfig, RLQVOTrainer
+from repro.graphs import generate_query_set
+
+
+@pytest.fixture(scope="module")
+def setup(data_graph, data_stats):
+    queries = generate_query_set(data_graph, 5, 4, seed=55)
+    return data_graph, data_stats, queries
+
+
+class TestBestCheckpoint:
+    def test_disabled_by_default(self, setup):
+        data, stats, queries = setup
+        config = RLQVOConfig(
+            epochs=2, hidden_dim=16, train_match_limit=300, train_time_limit=2.0
+        )
+        trainer = RLQVOTrainer(data, config, stats=stats)
+        history = trainer.train(queries)
+        assert all(e.greedy_enum_total == 0 for e in history.epochs)
+
+    def test_tracking_records_greedy_totals(self, setup):
+        data, stats, queries = setup
+        config = RLQVOConfig(
+            epochs=3,
+            hidden_dim=16,
+            train_match_limit=300,
+            train_time_limit=2.0,
+            track_best_policy=True,
+        )
+        trainer = RLQVOTrainer(data, config, stats=stats)
+        history = trainer.train(queries)
+        assert all(e.greedy_enum_total > 0 for e in history.epochs)
+
+    def test_final_policy_matches_best_epoch(self, setup):
+        data, stats, queries = setup
+        config = RLQVOConfig(
+            epochs=4,
+            hidden_dim=16,
+            train_match_limit=300,
+            train_time_limit=2.0,
+            track_best_policy=True,
+            seed=3,
+        )
+        trainer = RLQVOTrainer(data, config, stats=stats)
+        history = trainer.train(queries)
+        best = min(e.greedy_enum_total for e in history.epochs)
+        # Re-measure the restored policy greedily: must match the best epoch.
+        measured = trainer._greedy_enum_total(queries)
+        assert measured == best
+
+    def test_policy_left_in_train_mode_during_training(self, setup):
+        data, stats, queries = setup
+        config = RLQVOConfig(
+            epochs=1,
+            hidden_dim=16,
+            train_match_limit=300,
+            train_time_limit=2.0,
+            track_best_policy=True,
+        )
+        trainer = RLQVOTrainer(data, config, stats=stats)
+        trainer.train(queries)
+        assert trainer.policy.training  # greedy eval must not leave eval mode

@@ -1,0 +1,81 @@
+"""Tests for the training and benchmark CLIs."""
+
+import numpy as np
+import pytest
+
+from repro.core.cli import main as train_main
+from repro.core.model_io import load_model
+
+
+class TestTrainCLI:
+    def test_train_and_save(self, tmp_path, capsys):
+        out = tmp_path / "model"
+        code = train_main(
+            [
+                "citeseer",
+                "--size", "4",
+                "--queries", "4",
+                "--epochs", "1",
+                "--rollouts", "1",
+                "--hidden-dim", "8",
+                "--train-match-limit", "100",
+                "--train-time-limit", "0.3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        policy = load_model(out)
+        assert policy.config.hidden_dim == 8
+        captured = capsys.readouterr().out
+        assert "saved model" in captured
+        assert "epoch   0" in captured
+
+    def test_reinforce_algorithm_flag(self, tmp_path):
+        out = tmp_path / "model"
+        code = train_main(
+            [
+                "citeseer",
+                "--size", "4",
+                "--queries", "4",
+                "--epochs", "1",
+                "--hidden-dim", "8",
+                "--algorithm", "reinforce",
+                "--train-match-limit", "100",
+                "--train-time-limit", "0.3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert load_model(out).config.algorithm == "reinforce"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            train_main(["imdb"])
+
+
+class TestBenchCLI:
+    def test_single_experiment(self, capsys):
+        from repro.bench.cli import main as bench_main
+
+        code = bench_main(["table3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "[table3] completed" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.bench.cli import main as bench_main
+
+        with pytest.raises(SystemExit):
+            bench_main(["fig99"])
+
+    def test_settings_flags_applied(self, capsys):
+        from repro.bench.cli import _build_parser, _settings_from_args
+
+        args = _build_parser().parse_args(
+            ["table2", "--queries", "6", "--match-limit", "none", "--seed", "7"]
+        )
+        settings = _settings_from_args(args)
+        assert settings.query_count == 6
+        assert settings.match_limit is None
+        assert settings.seed == 7

@@ -1,0 +1,98 @@
+"""Tests for the 7-dim feature initialization (Sec. III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FEATURE_DIM, FeatureBuilder, RLQVOConfig
+from repro.errors import ModelError
+from repro.graphs import Graph, GraphStats
+
+
+@pytest.fixture(scope="module")
+def builder_setup():
+    # Data graph: labels 0 x3 (degrees 2,2,2), label 1 x1 (degree 0 isolated).
+    data = Graph([0, 0, 0, 1], [(0, 1), (1, 2), (0, 2)])
+    config = RLQVOConfig()
+    stats = GraphStats(data)
+    return data, config, stats
+
+
+class TestStaticFeatures:
+    def test_feature_values_match_paper_formulas(self, builder_setup):
+        data, config, stats = builder_setup
+        builder = FeatureBuilder(data, config, stats)
+        # Query: edge between label-0 vertices.
+        query = Graph([0, 0], [(0, 1)])
+        static = builder.static_features(query)
+        assert static.shape == (2, 5)
+        nv = data.num_vertices
+        for u in range(2):
+            assert static[u, 0] == query.degree(u) / config.alpha_degree  # h(1)
+            assert static[u, 1] == query.label(u)  # h(2)
+            assert static[u, 2] == u  # h(3)
+            # h(4): data vertices with degree > d(u)=1 are 0,1,2 -> 3/4
+            assert static[u, 3] == pytest.approx(3 / nv)
+            # h(5): label-0 frequency 3 -> 3/4
+            assert static[u, 4] == pytest.approx(3 / nv)
+
+    def test_scaling_factors_applied(self, builder_setup):
+        data, _, stats = builder_setup
+        config = RLQVOConfig(alpha_degree=2.0, alpha_d=4.0, alpha_l=8.0)
+        builder = FeatureBuilder(data, config, stats)
+        query = Graph([0, 0], [(0, 1)])
+        static = builder.static_features(query)
+        assert static[0, 0] == 0.5  # degree 1 / 2
+        assert static[0, 3] == pytest.approx(3 / (4 * 4.0))
+        assert static[0, 4] == pytest.approx(3 / (4 * 8.0))
+
+    def test_static_features_cached_per_query(self, builder_setup):
+        data, config, stats = builder_setup
+        builder = FeatureBuilder(data, config, stats)
+        query = Graph([0, 0], [(0, 1)])
+        assert builder.static_features(query) is builder.static_features(query)
+
+    def test_random_feature_mode(self, builder_setup):
+        data, _, stats = builder_setup
+        config = RLQVOConfig(feature_mode="random")
+        builder = FeatureBuilder(data, config, stats)
+        query = Graph([0, 0], [(0, 1)])
+        static = builder.static_features(query)
+        assert static.shape == (2, 5)
+        assert (0 <= static).all() and (static <= 1).all()
+        # Fixed per query (cached), so reproducible within a run.
+        assert builder.static_features(query) is static
+
+
+class TestStepFeatures:
+    def test_dynamic_columns(self, builder_setup):
+        data, config, stats = builder_setup
+        builder = FeatureBuilder(data, config, stats)
+        query = Graph([0, 0, 0], [(0, 1), (1, 2)])
+        static = builder.static_features(query)
+        ordered = np.array([True, False, False])
+        full = builder.step_features(query, static, 1, ordered)
+        assert full.shape == (3, FEATURE_DIM)
+        assert (full[:, 5] == 2).all()  # |V(q)| - t + 1 = 3 - 2 + 1
+        assert full[:, 6].tolist() == [1.0, 0.0, 0.0]
+
+    def test_static_block_passthrough(self, builder_setup):
+        data, config, stats = builder_setup
+        builder = FeatureBuilder(data, config, stats)
+        query = Graph([0, 0], [(0, 1)])
+        static = builder.static_features(query)
+        full = builder.step_features(query, static, 0, np.zeros(2, dtype=bool))
+        assert np.array_equal(full[:, :5], static)
+
+    def test_shape_mismatch_rejected(self, builder_setup):
+        data, config, stats = builder_setup
+        builder = FeatureBuilder(data, config, stats)
+        query = Graph([0, 0], [(0, 1)])
+        with pytest.raises(ModelError):
+            builder.step_features(query, np.zeros((3, 5)), 0, np.zeros(2, dtype=bool))
+
+
+def test_stats_mismatch_rejected():
+    data = Graph([0, 0], [(0, 1)])
+    other = Graph([0, 0, 0], [(0, 1)])
+    with pytest.raises(ModelError):
+        FeatureBuilder(data, RLQVOConfig(), GraphStats(other))

@@ -1,0 +1,71 @@
+"""Tests for the RL-QVO orderer wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureBuilder, PolicyNetwork, RLQVOConfig, RLQVOOrderer
+from repro.errors import ModelError
+from repro.graphs import Graph, check_order, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def orderer_setup(data_graph, data_stats):
+    config = RLQVOConfig(hidden_dim=16, seed=0)
+    policy = PolicyNetwork(config)
+    builder = FeatureBuilder(data_graph, config, data_stats)
+    return RLQVOOrderer(policy, builder), data_graph
+
+
+class TestRLQVOOrderer:
+    def test_produces_valid_connected_orders(self, orderer_setup, queries):
+        orderer, data = orderer_setup
+        for query in queries:
+            order = orderer.order(query, data)
+            check_order(query, order)
+
+    def test_greedy_is_deterministic(self, orderer_setup, queries):
+        orderer, data = orderer_setup
+        a = orderer.order(queries[0], data)
+        b = orderer.order(queries[0], data)
+        assert a == b
+
+    def test_sampling_mode_varies(self, data_graph, data_stats, queries):
+        config = RLQVOConfig(hidden_dim=16, seed=0)
+        policy = PolicyNetwork(config)
+        builder = FeatureBuilder(data_graph, config, data_stats)
+        orders = set()
+        for seed in range(10):
+            orderer = RLQVOOrderer(policy, builder, sample=True, seed=seed)
+            orders.add(tuple(orderer.order(queries[0], data_graph)))
+        assert len(orders) > 1
+
+    def test_policy_forced_to_eval_mode(self, data_graph, data_stats):
+        config = RLQVOConfig(hidden_dim=8, dropout=0.5)
+        policy = PolicyNetwork(config)
+        assert policy.training
+        RLQVOOrderer(policy, FeatureBuilder(data_graph, config, data_stats))
+        assert not policy.training
+
+    def test_wrong_data_graph_rejected(self, orderer_setup):
+        orderer, _ = orderer_setup
+        other = erdos_renyi(10, 15, 2, seed=0)
+        query = Graph([0, 0], [(0, 1)])
+        with pytest.raises(ModelError):
+            orderer.order(query, other)
+
+    def test_data_argument_optional(self, orderer_setup, queries):
+        orderer, data = orderer_setup
+        assert orderer.order(queries[0]) == orderer.order(queries[0], data)
+
+    def test_path_query_mostly_forced(self, orderer_setup):
+        # On a path the only policy decisions are the start and direction;
+        # the result must still be connected.
+        orderer, data = orderer_setup
+        lab = int(data.labels[0])
+        path = Graph([lab] * 5, [(i, i + 1) for i in range(4)])
+        order = orderer.order(path, data)
+        check_order(path, order)
+
+    def test_name_for_registry(self, orderer_setup):
+        orderer, _ = orderer_setup
+        assert orderer.name == "rlqvo"

@@ -1,0 +1,97 @@
+"""Tests for the RL-QVO training loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import RLQVOConfig, RLQVOTrainer
+from repro.errors import TrainingError
+from repro.graphs import check_order, generate_query_set
+
+
+@pytest.fixture(scope="module")
+def trainer(data_graph, data_stats):
+    config = RLQVOConfig(
+        epochs=2,
+        hidden_dim=16,
+        train_match_limit=500,
+        train_time_limit=2.0,
+        seed=5,
+    )
+    return RLQVOTrainer(data_graph, config, stats=data_stats)
+
+
+@pytest.fixture(scope="module")
+def train_queries(data_graph):
+    return generate_query_set(data_graph, 5, 4, seed=77)
+
+
+class TestTraining:
+    def test_history_shape(self, trainer, train_queries):
+        history = trainer.train(train_queries, epochs=2)
+        assert len(history.epochs) == 2
+        assert history.total_time > 0
+        for stats in history.epochs:
+            assert stats.queries_used + stats.queries_skipped == len(train_queries)
+            assert stats.elapsed > 0
+
+    def test_baselines_cached_across_epochs(self, trainer, train_queries):
+        trainer.train(train_queries, epochs=1)
+        cached = dict(trainer._baseline_enum)
+        trainer.train(train_queries, epochs=1)
+        assert dict(trainer._baseline_enum) == cached
+
+    def test_empty_query_list_rejected(self, trainer):
+        with pytest.raises(TrainingError):
+            trainer.train([])
+
+    def test_make_orderer_produces_valid_orders(self, trainer, train_queries, data_graph):
+        trainer.train(train_queries, epochs=1)
+        orderer = trainer.make_orderer()
+        for query in train_queries:
+            check_order(query, orderer.order(query, data_graph))
+
+    def test_epoch_zero_training_is_noop(self, trainer, train_queries):
+        history = trainer.train(train_queries, epochs=0)
+        assert history.epochs == []
+
+    def test_log_fn_called_per_epoch(self, trainer, train_queries):
+        seen = []
+        trainer.train(train_queries, epochs=2, log_fn=seen.append)
+        assert [s.epoch for s in seen] == [0, 1]
+
+
+class TestIncrementalTraining:
+    def test_two_phase_histories(self, data_graph, data_stats):
+        config = RLQVOConfig(
+            epochs=2,
+            incremental_epochs=1,
+            hidden_dim=16,
+            train_match_limit=300,
+            train_time_limit=2.0,
+        )
+        trainer = RLQVOTrainer(data_graph, config, stats=data_stats)
+        small = generate_query_set(data_graph, 4, 4, seed=1)
+        target = generate_query_set(data_graph, 6, 4, seed=2)
+        pre, incr = trainer.incremental_train(small, target)
+        assert len(pre.epochs) == 2
+        assert len(incr.epochs) == 1
+        # Incremental phase is cheaper than pretraining per epoch count.
+        assert incr.total_time < pre.total_time + 10.0
+
+
+class TestRewardOrientation:
+    def test_better_than_baseline_yields_positive_reward(self, data_graph, data_stats):
+        """Directly verify Δ#enum orientation through the trainer path."""
+        from repro.rl import enumeration_reward
+
+        assert enumeration_reward(10, 100) > 0 > enumeration_reward(100, 10)
+
+    def test_skip_counting_for_impossible_queries(self, data_graph, data_stats):
+        from repro.graphs import Graph
+
+        config = RLQVOConfig(epochs=1, hidden_dim=8, train_match_limit=100)
+        trainer = RLQVOTrainer(data_graph, config, stats=data_stats)
+        impossible = Graph([999, 999], [(0, 1)])  # labels absent from data
+        history = trainer.train([impossible], epochs=1)
+        assert history.epochs[0].queries_used == 0
+        assert history.epochs[0].queries_skipped == 1

@@ -1,0 +1,80 @@
+"""Tests for WL hashing and workload de-duplication."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, erdos_renyi
+from repro.graphs.canonical import deduplicate_queries, wl_hash
+
+
+def relabel(graph: Graph, permutation: list[int]) -> Graph:
+    """Isomorphic copy under a vertex permutation."""
+    labels = [0] * graph.num_vertices
+    for old, new in enumerate(permutation):
+        labels[new] = graph.label(old)
+    edges = [(permutation[u], permutation[v]) for u, v in graph.edges()]
+    return Graph(labels, edges)
+
+
+class TestWLHash:
+    def test_isomorphic_copies_collide(self):
+        g = erdos_renyi(12, 20, 3, seed=5)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            perm = rng.permutation(12).tolist()
+            assert wl_hash(relabel(g, perm)) == wl_hash(g)
+
+    def test_label_change_separates(self):
+        a = Graph([0, 0, 0], [(0, 1), (1, 2)])
+        b = Graph([0, 1, 0], [(0, 1), (1, 2)])
+        assert wl_hash(a) != wl_hash(b)
+
+    def test_structure_change_separates(self):
+        path = Graph([0, 0, 0], [(0, 1), (1, 2)])
+        triangle = Graph([0, 0, 0], [(0, 1), (1, 2), (0, 2)])
+        assert wl_hash(path) != wl_hash(triangle)
+
+    def test_empty_and_singleton(self):
+        assert wl_hash(Graph([], [])) == wl_hash(Graph([], []))
+        assert wl_hash(Graph([3], [])) != wl_hash(Graph([4], []))
+
+
+@given(st.integers(0, 500), st.integers(2, 8))
+@settings(max_examples=20)
+def test_wl_hash_equal_implies_nx_isomorphic_on_small_graphs(seed, n):
+    # On small random graphs, check agreement with exact isomorphism:
+    # equal hashes must be isomorphic (no false merges at this scale).
+    rng = np.random.default_rng(seed)
+    g1 = erdos_renyi(n, min(n * (n - 1) // 2, n + 2), 2, seed=seed)
+    g2 = erdos_renyi(n, min(n * (n - 1) // 2, n + 2), 2, seed=seed + 1)
+
+    def to_nx(g):
+        out = nx.Graph()
+        for v in g.vertices():
+            out.add_node(v, label=g.label(v))
+        out.add_edges_from(g.edges())
+        return out
+
+    if wl_hash(g1) == wl_hash(g2):
+        assert nx.is_isomorphic(
+            to_nx(g1), to_nx(g2),
+            node_match=lambda a, b: a["label"] == b["label"],
+        )
+
+
+class TestDeduplicate:
+    def test_removes_isomorphic_duplicates(self):
+        g = erdos_renyi(8, 12, 2, seed=9)
+        copies = [relabel(g, np.random.default_rng(s).permutation(8).tolist())
+                  for s in range(4)]
+        other = erdos_renyi(8, 12, 2, seed=10)
+        unique = deduplicate_queries([g, *copies, other])
+        assert len(unique) <= 2
+        assert unique[0] is g
+
+    def test_preserves_order(self):
+        a = Graph([0], [])
+        b = Graph([1], [])
+        assert deduplicate_queries([a, b, a]) == [a, b]

@@ -1,0 +1,80 @@
+"""Tests for query extraction and sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs import Graph, extract_query, generate_query_set
+from repro.graphs.query_gen import sparsify_to_degree
+
+
+class TestExtractQuery:
+    def test_size_and_connectivity(self, data_graph, rng):
+        for size in (2, 4, 8, 16):
+            q = extract_query(data_graph, size, rng)
+            assert q.num_vertices == size
+            assert q.is_connected()
+
+    def test_labels_come_from_data_graph(self, data_graph, rng):
+        q = extract_query(data_graph, 8, rng)
+        data_labels = set(data_graph.labels.tolist())
+        assert set(q.labels.tolist()) <= data_labels
+
+    def test_single_vertex_query(self, data_graph, rng):
+        q = extract_query(data_graph, 1, rng)
+        assert q.num_vertices == 1 and q.num_edges == 0
+
+    def test_size_zero_rejected(self, data_graph, rng):
+        with pytest.raises(DatasetError):
+            extract_query(data_graph, 0, rng)
+
+    def test_size_exceeding_graph_rejected(self, rng):
+        g = Graph([0, 1], [(0, 1)])
+        with pytest.raises(DatasetError):
+            extract_query(g, 3, rng)
+
+    def test_impossible_size_on_disconnected_graph(self, rng):
+        # Two isolated edges: no connected 3-vertex subgraph exists.
+        g = Graph([0] * 4, [(0, 1), (2, 3)])
+        with pytest.raises(DatasetError):
+            extract_query(g, 3, rng, max_attempts=20)
+
+    def test_edge_keep_prob_sparsifies_but_stays_connected(self, data_graph, rng):
+        dense = extract_query(data_graph, 10, rng, edge_keep_prob=1.0)
+        sparse = extract_query(data_graph, 10, rng, edge_keep_prob=0.0)
+        assert sparse.is_connected()
+        assert sparse.num_edges == 9  # spanning tree only
+
+
+class TestSparsifyToDegree:
+    def test_reduces_to_target(self, rng):
+        clique = Graph([0] * 8, [(i, j) for i in range(8) for j in range(i + 1, 8)])
+        sparse = sparsify_to_degree(clique, 3.0, rng)
+        assert sparse.is_connected()
+        assert sparse.num_edges == 12  # 3.0 * 8 / 2
+
+    def test_noop_when_already_sparse(self, rng):
+        path = Graph([0] * 5, [(i, i + 1) for i in range(4)])
+        assert sparsify_to_degree(path, 4.0, rng) is path
+
+    def test_never_below_spanning_tree(self, rng):
+        clique = Graph([0] * 6, [(i, j) for i in range(6) for j in range(i + 1, 6)])
+        sparse = sparsify_to_degree(clique, 0.1, rng)
+        assert sparse.num_edges == 5
+        assert sparse.is_connected()
+
+
+class TestGenerateQuerySet:
+    def test_count_and_determinism(self, data_graph):
+        a = generate_query_set(data_graph, 6, 5, seed=1)
+        b = generate_query_set(data_graph, 6, 5, seed=1)
+        assert len(a) == 5
+        assert a == b
+
+    def test_target_degree_applied(self, dense_graph):
+        queries = generate_query_set(
+            dense_graph, 8, 4, seed=2, target_avg_degree=3.0
+        )
+        for q in queries:
+            assert q.average_degree <= 3.5
+            assert q.is_connected()

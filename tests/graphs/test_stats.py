@@ -1,0 +1,64 @@
+"""Tests for precomputed graph statistics."""
+
+from collections import Counter
+
+import pytest
+
+from repro.graphs import Graph, GraphStats, degree_histogram, label_histogram
+
+
+@pytest.fixture()
+def small() -> Graph:
+    #    0(a) - 1(b) - 2(a)
+    #      \   /
+    #       3(c)
+    return Graph([0, 1, 0, 2], [(0, 1), (1, 2), (0, 3), (1, 3)])
+
+
+class TestHistograms:
+    def test_degree_histogram(self, small):
+        assert degree_histogram(small) == {1: 1, 2: 2, 3: 1}
+
+    def test_label_histogram(self, small):
+        assert label_histogram(small) == {0: 2, 1: 1, 2: 1}
+
+
+class TestGraphStats:
+    def test_label_counts(self, small):
+        stats = GraphStats(small)
+        assert stats.label_counts == {0: 2, 1: 1, 2: 1}
+        assert stats.label_frequency(0) == 2
+        assert stats.label_frequency(99) == 0
+
+    def test_count_degree_greater(self, small):
+        stats = GraphStats(small)
+        assert stats.count_degree_greater(0) == 4
+        assert stats.count_degree_greater(1) == 3
+        assert stats.count_degree_greater(2) == 1
+        assert stats.count_degree_greater(3) == 0
+
+    def test_edge_label_frequency(self, small):
+        stats = GraphStats(small)
+        # Edges: (0a,1b) (1b,2a) (0a,3c) (1b,3c)
+        assert stats.edge_label_frequency(0, 1) == 2
+        assert stats.edge_label_frequency(1, 0) == 2  # symmetric
+        assert stats.edge_label_frequency(0, 2) == 1
+        assert stats.edge_label_frequency(1, 2) == 1
+        assert stats.edge_label_frequency(0, 0) == 0
+
+    def test_edge_label_frequency_same_label_pair(self):
+        g = Graph([5, 5, 5], [(0, 1), (1, 2)])
+        stats = GraphStats(g)
+        assert stats.edge_label_frequency(5, 5) == 2
+
+    def test_profiles_are_closed_neighborhood_label_multisets(self, small):
+        stats = GraphStats(small)
+        assert stats.profiles[0] == (0, 1, 2)  # own a + nbrs {b, c}
+        assert stats.profiles[1] == (0, 0, 1, 2)
+
+    def test_profiles_match_counter_semantics(self, data_graph, data_stats):
+        v = 5
+        expected = Counter(
+            [data_graph.label(v)] + data_graph.neighbor_labels(v)
+        )
+        assert Counter(data_stats.profiles[v]) == expected

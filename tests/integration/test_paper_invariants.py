@@ -1,0 +1,78 @@
+"""Invariants stated or implied by the paper, checked end to end.
+
+* The optimal order's #enum lower-bounds every method's (Fig. 6 logic).
+* All compared methods return identical match sets (Sec. IV-C premise:
+  shared enumeration means enumeration time reflects order quality only).
+* The ordering overhead of RL-QVO is small relative to its enumeration
+  work on non-trivial queries (Sec. III-G complexity claim).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import METHODS, method_engine
+from repro.core import RLQVOConfig, RLQVOTrainer
+from repro.graphs import GraphStats, chung_lu, generate_query_set
+from repro.matching import Enumerator, GQLFilter, OptimalOrderer
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = chung_lu(600, 5.0, 6, seed=9)
+    stats = GraphStats(data)
+    queries = generate_query_set(data, 5, 6, seed=3)
+    return data, stats, queries
+
+
+class TestOptimalLowerBound:
+    def test_optimal_enum_lower_bounds_all_methods(self, world):
+        data, stats, queries = world
+        enumerator = Enumerator(match_limit=None, time_limit=5.0)
+        gql = GQLFilter()
+        for query in queries[:3]:
+            candidates = gql.filter(query, data, stats)
+            if candidates.has_empty():
+                continue
+            optimal = OptimalOrderer(match_limit=None)
+            best_order = optimal.order(query, data, candidates, stats)
+            best = enumerator.run(query, data, candidates, best_order)
+            for name, (filter_cls, orderer_cls) in METHODS.items():
+                # Evaluate every ordering against the same candidates so
+                # #enum is comparable.
+                order = orderer_cls().order(query, data, candidates, stats)
+                run = enumerator.run(query, data, candidates, order)
+                assert best.num_enumerations <= run.num_enumerations, name
+
+
+class TestSharedEnumerationPremise:
+    def test_all_methods_agree_on_match_count(self, world):
+        data, stats, queries = world
+        for query in queries[:3]:
+            counts = set()
+            for name in METHODS:
+                engine = method_engine(
+                    name, Enumerator(match_limit=None, time_limit=5.0)
+                )
+                counts.add(engine.run(query, data, stats).num_matches)
+            assert len(counts) == 1, f"methods disagree: {counts}"
+
+
+class TestOrderingOverhead:
+    def test_rlqvo_order_time_is_milliseconds(self, world):
+        """Sec. IV-F claims order inference within 100 ms per query; our
+        numpy policy should be well under that for small queries."""
+        data, stats, queries = world
+        config = RLQVOConfig(
+            epochs=1, hidden_dim=16, train_match_limit=200, train_time_limit=1.0
+        )
+        trainer = RLQVOTrainer(data, config, stats=stats)
+        trainer.train(queries[:2], epochs=1)
+        orderer = trainer.make_orderer()
+        import time
+
+        gql = GQLFilter()
+        for query in queries:
+            candidates = gql.filter(query, data, stats)
+            start = time.perf_counter()
+            orderer.order(query, data, candidates, stats)
+            assert time.perf_counter() - start < 0.1

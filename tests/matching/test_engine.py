@@ -1,0 +1,78 @@
+"""Tests for the end-to-end matching engine (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, erdos_renyi, extract_query
+from repro.matching import (
+    Enumerator,
+    GQLFilter,
+    LDFFilter,
+    MatchingEngine,
+    RIOrderer,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    data = erdos_renyi(50, 140, 2, seed=31)
+    query = extract_query(data, 5, np.random.default_rng(6))
+    return query, data
+
+
+class TestMatchingEngine:
+    def test_full_pipeline(self, instance):
+        query, data = instance
+        engine = MatchingEngine(GQLFilter(), RIOrderer(), Enumerator(match_limit=None))
+        result = engine.run(query, data)
+        assert result.solved
+        assert result.num_matches > 0
+        assert sorted(result.order) == list(range(query.num_vertices))
+
+    def test_phase_timings_compose_total(self, instance):
+        query, data = instance
+        engine = MatchingEngine(GQLFilter(), RIOrderer())
+        result = engine.run(query, data)
+        assert result.filter_time >= 0
+        assert result.order_time >= 0
+        assert result.total_time == pytest.approx(
+            result.filter_time + result.order_time + result.enum_time
+        )
+
+    def test_equivalent_to_manual_composition(self, instance):
+        query, data = instance
+        engine = MatchingEngine(GQLFilter(), RIOrderer(), Enumerator(match_limit=None))
+        via_engine = engine.run(query, data).num_matches
+        candidates = GQLFilter().filter(query, data)
+        order = RIOrderer().order(query, data, candidates)
+        direct = Enumerator(match_limit=None).run(query, data, candidates, order)
+        assert via_engine == direct.num_matches
+
+    def test_empty_candidates_short_circuit(self, instance):
+        _, data = instance
+        impossible = Graph([123], [])
+        engine = MatchingEngine(LDFFilter(), RIOrderer())
+        result = engine.run(impossible, data)
+        assert result.num_matches == 0
+        assert result.num_enumerations == 0
+        assert result.solved
+
+    def test_candidates_only(self, instance):
+        query, data = instance
+        engine = MatchingEngine(GQLFilter(), RIOrderer())
+        candidates = engine.candidates_only(query, data)
+        assert candidates.num_query_vertices == query.num_vertices
+
+    def test_default_enumerator_created(self, instance):
+        engine = MatchingEngine(LDFFilter(), RIOrderer())
+        assert engine.enumerator.match_limit == 100_000
+
+    def test_different_filters_same_match_count(self, instance):
+        query, data = instance
+        counts = set()
+        for filter_cls in (LDFFilter, GQLFilter):
+            engine = MatchingEngine(
+                filter_cls(), RIOrderer(), Enumerator(match_limit=None)
+            )
+            counts.add(engine.run(query, data).num_matches)
+        assert len(counts) == 1

@@ -1,0 +1,140 @@
+"""Tests for functional ops: softmax family, entropy, concat, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import (
+    Tensor,
+    concat,
+    dropout,
+    entropy,
+    log_softmax,
+    masked_softmax,
+    mse_loss,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        p = softmax(logits)
+        assert np.allclose(p.data.sum(axis=-1), 1.0)
+        assert (p.data >= 0).all()
+
+    def test_shift_invariance(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        a = softmax(Tensor(logits)).data
+        b = softmax(Tensor(logits + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_numerical_stability_extreme_logits(self):
+        p = softmax(Tensor(np.array([1000.0, -1000.0]))).data
+        assert np.isfinite(p).all()
+        assert p[0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistency(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(6,)))
+        assert np.allclose(
+            log_softmax(logits).data, np.log(softmax(logits).data)
+        )
+
+
+class TestMaskedSoftmax:
+    def test_masked_entries_are_zero(self):
+        logits = Tensor(np.array([5.0, 1.0, 3.0]))
+        mask = np.array([True, False, True])
+        p = masked_softmax(logits, mask).data
+        assert p[1] == 0.0
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_matches_manual_renormalization(self):
+        logits = np.array([1.0, 2.0, 3.0, 4.0])
+        mask = np.array([True, True, False, True])
+        p = masked_softmax(Tensor(logits), mask).data
+        exps = np.exp(logits[mask] - logits[mask].max())
+        expected = exps / exps.sum()
+        assert np.allclose(p[mask], expected)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ModelError):
+            masked_softmax(Tensor(np.ones(3)), np.zeros(3, dtype=bool))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            masked_softmax(Tensor(np.ones(3)), np.ones(4, dtype=bool))
+
+    def test_no_gradient_through_masked_entries(self):
+        logits = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        mask = np.array([True, False, True])
+        masked_softmax(logits, mask).index_select([0]).sum().backward()
+        assert logits.grad[1] == 0.0
+
+    def test_single_valid_entry_gets_probability_one(self):
+        logits = Tensor(np.array([-50.0, 2.0]))
+        p = masked_softmax(logits, np.array([True, False])).data
+        assert p[0] == pytest.approx(1.0)
+
+
+class TestEntropy:
+    def test_uniform_maximizes(self):
+        uniform = Tensor(np.full(4, 0.25))
+        peaked = Tensor(np.array([0.97, 0.01, 0.01, 0.01]))
+        assert entropy(uniform).item() > entropy(peaked).item()
+
+    def test_known_value(self):
+        p = Tensor(np.array([0.5, 0.5]))
+        assert entropy(p).item() == pytest.approx(np.log(2.0))
+
+    def test_zero_probability_is_safe(self):
+        p = Tensor(np.array([1.0, 0.0]))
+        assert np.isfinite(entropy(p).item())
+        assert entropy(p).item() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestConcat:
+    def test_forward_shapes(self):
+        a, b = Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 2)))
+        assert concat([a, b], axis=-1).shape == (2, 5)
+
+    def test_gradient_routing(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        (concat([a, b], axis=1) * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ModelError):
+            concat([])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(np.ones((10, 10)))
+        out = dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_training_scales_survivors(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.5, rng, training=True).data
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)  # inverted dropout scale 1/(1-p)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_p_zero_identity(self, rng):
+        x = Tensor(np.ones(5))
+        assert dropout(x, 0.0, rng, training=True) is x
+
+    def test_invalid_p_rejected(self, rng):
+        with pytest.raises(ModelError):
+            dropout(Tensor(np.ones(3)), 1.0, rng, training=True)
+
+
+def test_mse_loss_known_value():
+    pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    loss = mse_loss(pred, np.array([0.0, 0.0]))
+    assert loss.item() == pytest.approx(2.5)
+    loss.backward()
+    assert np.allclose(pred.grad, [1.0, 2.0])

@@ -1,0 +1,111 @@
+"""Tests for Module mechanics and dense layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import Dropout, Linear, Module, ReLU, Sequential, Tanh, Tensor
+
+
+class TestLinear:
+    def test_forward_shape_and_affine(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = Tensor(rng.normal(size=(6, 4)))
+        out = layer(x)
+        assert out.shape == (6, 3)
+        expected = x.data @ layer.weight.data + layer.bias.data
+        assert np.allclose(out.data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_parameters_require_grad(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        assert all(p.requires_grad for p in layer.parameters())
+
+
+class TestModuleMechanics:
+    def make_net(self, rng):
+        return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+
+    def test_nested_parameter_iteration(self, rng):
+        net = self.make_net(rng)
+        assert len(list(net.parameters())) == 4  # 2 weights + 2 biases
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_state_dict_roundtrip(self, rng):
+        net = self.make_net(rng)
+        other = self.make_net(np.random.default_rng(99))
+        other.load_state_dict(net.state_dict())
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(net(x).data, other(x).data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        net = self.make_net(rng)
+        state = net.state_dict()
+        state["0.weight"][:] = 0.0
+        assert not np.allclose(net.state_dict()["0.weight"], 0.0)
+
+    def test_load_rejects_missing_and_unexpected(self, rng):
+        net = self.make_net(rng)
+        state = net.state_dict()
+        del state["0.weight"]
+        with pytest.raises(ModelError, match="missing"):
+            net.load_state_dict(state)
+        state = net.state_dict()
+        state["bogus"] = np.zeros(2)
+        with pytest.raises(ModelError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self, rng):
+        net = self.make_net(rng)
+        state = net.state_dict()
+        state["0.weight"] = np.zeros((2, 2))
+        with pytest.raises(ModelError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng), Dropout(0.5))
+        net.eval()
+        assert not net.training
+        assert not net[1].training
+        net.train()
+        assert net[1].training
+
+    def test_zero_grad(self, rng):
+        net = self.make_net(rng)
+        out = net(Tensor(rng.normal(size=(2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_parameter_bytes(self, rng):
+        layer = Linear(4, 4, rng=rng)
+        assert layer.parameter_bytes() == (16 + 4) * 8  # float64
+
+
+class TestActivationsAndDropout:
+    def test_relu_module(self):
+        assert np.allclose(ReLU()(Tensor(np.array([-1.0, 2.0]))).data, [0.0, 2.0])
+
+    def test_tanh_module(self):
+        assert np.allclose(Tanh()(Tensor(np.array([0.0]))).data, [0.0])
+
+    def test_dropout_eval_identity(self):
+        layer = Dropout(0.5, seed=0)
+        layer.eval()
+        x = Tensor(np.ones(100))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ModelError):
+            Dropout(1.5)
+
+    def test_sequential_indexing(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng), ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], ReLU)

@@ -1,0 +1,95 @@
+"""Tests for the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import SGD, Adam, Linear, Tensor
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    # f(w) = ||w - 3||^2, minimized at w = 3.
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        w = Tensor(np.zeros(4), requires_grad=True)
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(w).backward()
+            opt.step()
+        assert np.allclose(w.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        w_plain = Tensor(np.zeros(1), requires_grad=True)
+        w_momentum = Tensor(np.zeros(1), requires_grad=True)
+        plain, momentum = SGD([w_plain], lr=0.01), SGD([w_momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for w, opt in ((w_plain, plain), (w_momentum, momentum)):
+                opt.zero_grad()
+                quadratic_loss(w).backward()
+                opt.step()
+        assert abs(w_momentum.data[0] - 3.0) < abs(w_plain.data[0] - 3.0)
+
+    def test_skips_parameters_without_grad(self):
+        w = Tensor(np.ones(2), requires_grad=True)
+        SGD([w], lr=0.1).step()  # no backward ran: no-op
+        assert np.allclose(w.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = Tensor(np.zeros(3), requires_grad=True)
+        opt = Adam([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(w).backward()
+            opt.step()
+        assert np.allclose(w.data, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step_magnitude(self):
+        # With Adam, the first step size is ~lr regardless of grad scale.
+        w = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([w], lr=0.5)
+        opt.zero_grad()
+        (w * 1000.0).sum().backward()
+        opt.step()
+        assert abs(w.data[0]) == pytest.approx(0.5, rel=1e-3)
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Tensor(np.array([5.0]), requires_grad=True)
+        opt = Adam([w], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (w * 0.0).sum().backward()  # zero task gradient
+            opt.step()
+        assert abs(w.data[0]) < 5.0
+
+    def test_trains_linear_regression(self, rng):
+        # y = x @ w_true; Adam should recover w_true.
+        w_true = np.array([[1.0], [-2.0]])
+        x_data = rng.normal(size=(64, 2))
+        y_data = x_data @ w_true
+        layer = Linear(2, 1, bias=False, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            pred = layer(Tensor(x_data))
+            diff = pred - Tensor(y_data)
+            (diff * diff).mean().backward()
+            opt.step()
+        assert np.allclose(layer.weight.data, w_true, atol=0.05)
+
+
+class TestValidation:
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ModelError):
+            Adam([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        w = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ModelError):
+            SGD([w], lr=0.0)

@@ -1,0 +1,102 @@
+"""Tests for the ordering MDP environment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.graphs import Graph, check_order
+from repro.rl import OrderingEnv
+
+
+def path4() -> Graph:
+    return Graph([0] * 4, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestLifecycle:
+    def test_initial_state_allows_all_vertices(self):
+        env = OrderingEnv(path4())
+        state = env.reset()
+        assert state.step == 0
+        assert state.action_mask.all()
+        assert not env.done
+
+    def test_action_space_is_unordered_neighbourhood(self):
+        env = OrderingEnv(path4())
+        env.reset()
+        state = env.step(1)
+        assert set(state.action_space) == {0, 2}
+        state = env.step(2)
+        assert set(state.action_space) == {0, 3}
+
+    def test_episode_completes_with_connected_order(self):
+        env = OrderingEnv(path4())
+        env.reset()
+        for action in (1, 0, 2, 3):
+            env.step(action)
+        assert env.done
+        check_order(path4(), env.order)
+
+    def test_final_action_mask_empty(self):
+        g = Graph([0, 0], [(0, 1)])
+        env = OrderingEnv(g)
+        env.reset()
+        env.step(0)
+        state = env.step(1)
+        assert not state.action_mask.any()
+
+    def test_reset_clears_progress(self):
+        env = OrderingEnv(path4())
+        env.reset()
+        env.step(0)
+        state = env.reset()
+        assert env.order == []
+        assert state.action_mask.all()
+
+    def test_empty_query_starts_done(self):
+        env = OrderingEnv(Graph([], []))
+        assert env.done
+
+
+class TestValidation:
+    def test_invalid_action_rejected(self):
+        env = OrderingEnv(path4())
+        env.reset()
+        env.step(0)
+        with pytest.raises(TrainingError, match="not in the action space"):
+            env.step(3)  # not adjacent to vertex 0
+
+    def test_repeated_action_rejected(self):
+        env = OrderingEnv(path4())
+        env.reset()
+        env.step(0)
+        with pytest.raises(TrainingError):
+            env.step(0)
+
+    def test_step_after_done_rejected(self):
+        g = Graph([0], [])
+        env = OrderingEnv(g)
+        env.reset()
+        env.step(0)
+        with pytest.raises(TrainingError, match="finished"):
+            env.step(0)
+
+
+class TestDisconnectedQueries:
+    def test_fallback_opens_all_unordered(self):
+        g = Graph([0] * 4, [(0, 1), (2, 3)])
+        env = OrderingEnv(g)
+        env.reset()
+        env.step(0)
+        state = env.step(1)
+        # Component exhausted: the other component becomes reachable.
+        assert set(state.action_space) == {2, 3}
+
+
+class TestStateSnapshot:
+    def test_state_is_immutable_snapshot(self):
+        env = OrderingEnv(path4())
+        state = env.reset()
+        env.step(0)
+        # The earlier snapshot must not have changed.
+        assert state.action_mask.all()
+        assert state.order == ()

@@ -1,0 +1,157 @@
+"""Tests for the PPO trainer (Eq. 6–7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureBuilder, PolicyNetwork, RLQVOConfig
+from repro.errors import TrainingError
+from repro.nn.tensor import no_grad
+from repro.rl import PPOTrainer, collect_trajectory
+
+
+@pytest.fixture()
+def setup(data_graph, data_stats, queries, rng):
+    config = RLQVOConfig(hidden_dim=16, seed=0, dropout=0.0)
+    policy = PolicyNetwork(config)
+    builder = FeatureBuilder(data_graph, config, data_stats)
+    trajectories = []
+    sampler = policy.clone().eval()
+    for query in queries[:3]:
+        trajectory = collect_trajectory(sampler, query, builder, rng)
+        trajectory.rewards = [1.0] * len(trajectory.steps)
+        trajectories.append(trajectory)
+    return policy, trajectories
+
+
+class TestPPOUpdate:
+    def test_update_changes_parameters(self, setup):
+        policy, trajectories = setup
+        before = {k: v.copy() for k, v in policy.state_dict().items()}
+        trainer = PPOTrainer(
+            policy,
+            learning_rate=1e-2,
+            updates_per_batch=1,
+            normalize_advantages=False,
+        )
+        stats = trainer.update(trajectories)
+        after = policy.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+        assert stats.num_steps > 0
+
+    def test_first_pass_ratios_are_one(self, setup):
+        policy, trajectories = setup
+        policy.eval()  # disable dropout so ratios are exactly reproducible
+        trainer = PPOTrainer(policy, updates_per_batch=1)
+        stats = trainer.update(trajectories)
+        assert stats.mean_ratio == pytest.approx(1.0, abs=1e-9)
+        assert stats.clip_fraction == 0.0
+
+    @staticmethod
+    def _surrogate(policy, trajectories) -> float:
+        """Σ_t reward_t · π(a_t|s_t)/π_old — the quantity PPO ascends."""
+        total = 0.0
+        for trajectory in trajectories:
+            for t, step in trajectory.policy_steps():
+                with no_grad():
+                    out = policy.forward(
+                        step.features, trajectory.ctx, step.action_mask
+                    )
+                ratio = float(out.probs.data[step.action]) / step.old_prob
+                total += trajectory.rewards[t] * ratio
+        return total
+
+    def test_positive_rewards_increase_surrogate(self, setup):
+        policy, trajectories = setup
+        policy.eval()
+        before = self._surrogate(policy, trajectories)
+        trainer = PPOTrainer(
+            policy,
+            learning_rate=1e-3,
+            updates_per_batch=1,
+            normalize_advantages=False,
+        )
+        trainer.update(trajectories)
+        assert self._surrogate(policy, trajectories) > before
+
+    def test_negative_rewards_also_increase_surrogate(self, setup):
+        # With negative rewards the maximizer pushes taken-action
+        # probabilities *down*; the surrogate still ascends.
+        policy, trajectories = setup
+        policy.eval()
+        for trajectory in trajectories:
+            trajectory.rewards = [-1.0] * len(trajectory.steps)
+        before = self._surrogate(policy, trajectories)
+        PPOTrainer(
+            policy,
+            learning_rate=1e-3,
+            updates_per_batch=1,
+            normalize_advantages=False,
+        ).update(trajectories)
+        assert self._surrogate(policy, trajectories) > before
+
+    def test_constant_rewards_are_normalized_to_zero_signal(self, setup):
+        # Advantage normalization centres a constant-reward batch at zero,
+        # so the update degenerates to a no-op (no learning signal).
+        policy, trajectories = setup
+        policy.eval()
+        before = {k: v.copy() for k, v in policy.state_dict().items()}
+        PPOTrainer(
+            policy, learning_rate=1e-2, updates_per_batch=1,
+            normalize_advantages=True,
+        ).update(trajectories)
+        after = policy.state_dict()
+        for key in before:
+            assert np.allclose(before[key], after[key])
+
+    def test_normalized_update_with_mixed_rewards_learns(self, setup):
+        # Mixed rewards survive normalization and produce a finite,
+        # non-trivial parameter update.
+        policy, trajectories = setup
+        policy.eval()
+        for trajectory in trajectories:
+            n = len(trajectory.steps)
+            trajectory.rewards = [1.0 if i % 2 == 0 else -1.0 for i in range(n)]
+        before = {k: v.copy() for k, v in policy.state_dict().items()}
+        PPOTrainer(
+            policy, learning_rate=1e-3, updates_per_batch=1,
+            normalize_advantages=True,
+        ).update(trajectories)
+        after = policy.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+        assert all(np.isfinite(v).all() for v in after.values())
+
+    def test_missing_rewards_rejected(self, setup):
+        policy, trajectories = setup
+        trajectories[0].rewards = []
+        with pytest.raises(TrainingError, match="rewards"):
+            PPOTrainer(policy).update(trajectories)
+
+    def test_empty_batch_is_noop(self, setup):
+        policy, _ = setup
+        stats = PPOTrainer(policy).update([])
+        assert stats.num_steps == 0
+
+    def test_gradient_clipping_bounds_update(self, setup):
+        policy, trajectories = setup
+        for trajectory in trajectories:
+            trajectory.rewards = [1e6] * len(trajectory.steps)  # huge rewards
+        trainer = PPOTrainer(
+            policy, learning_rate=1e-3, updates_per_batch=1, max_grad_norm=1.0
+        )
+        trainer.update(trajectories)
+        for p in policy.parameters():
+            assert np.isfinite(p.data).all()
+
+
+class TestValidation:
+    def test_clip_epsilon_bounds(self, setup):
+        policy, _ = setup
+        with pytest.raises(TrainingError):
+            PPOTrainer(policy, clip_epsilon=0.0)
+        with pytest.raises(TrainingError):
+            PPOTrainer(policy, clip_epsilon=1.0)
+
+    def test_updates_per_batch_positive(self, setup):
+        policy, _ = setup
+        with pytest.raises(TrainingError):
+            PPOTrainer(policy, updates_per_batch=0)

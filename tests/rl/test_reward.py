@@ -1,0 +1,95 @@
+"""Tests for the reward design (Eq. 1–2)."""
+
+import math
+
+import pytest
+
+from repro.rl import (
+    RewardConfig,
+    discounted_return,
+    enumeration_reward,
+    step_rewards,
+    validity_reward,
+)
+
+
+class TestEnumerationReward:
+    def test_positive_when_learned_beats_baseline(self):
+        assert enumeration_reward(100, 1000) > 0
+
+    def test_negative_when_learned_is_worse(self):
+        assert enumeration_reward(1000, 100) < 0
+
+    def test_zero_on_tie(self):
+        assert enumeration_reward(500, 500) == 0.0
+
+    def test_log_squashing(self):
+        assert enumeration_reward(0, 999) == pytest.approx(math.log1p(999))
+        assert enumeration_reward(999, 0) == pytest.approx(-math.log1p(999))
+
+    def test_linear_mode(self):
+        assert enumeration_reward(10, 250, fenum="linear") == 240.0
+
+    def test_antisymmetry(self):
+        assert enumeration_reward(10, 90) == -enumeration_reward(90, 10)
+
+
+class TestValidityReward:
+    def test_bonus_and_penalty(self):
+        config = RewardConfig()
+        assert validity_reward(True, config) == config.valid_bonus
+        assert validity_reward(False, config) == config.invalid_penalty
+
+    def test_penalty_dominates_bonus(self):
+        config = RewardConfig()
+        assert abs(config.invalid_penalty) > abs(config.valid_bonus)
+
+
+class TestStepRewards:
+    def test_composition(self):
+        config = RewardConfig(beta_val=2.0, beta_h=0.5, invalid_penalty=-5.0)
+        rewards = step_rewards(1.0, [True, False], [0.3, 0.7], config)
+        assert rewards[0] == pytest.approx(1.0 + 2.0 * config.valid_bonus + 0.5 * 0.3)
+        assert rewards[1] == pytest.approx(1.0 + 2.0 * (-5.0) + 0.5 * 0.7)
+
+    def test_enum_reward_shared_across_steps(self):
+        config = RewardConfig(beta_val=0.0, beta_h=0.0)
+        rewards = step_rewards(3.5, [True] * 4, [0.0] * 4, config)
+        assert rewards == [3.5] * 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            step_rewards(0.0, [True], [0.1, 0.2], RewardConfig())
+
+
+class TestDiscountedReturn:
+    def test_eq2_formula(self):
+        # R = γ^1 r1 + γ^2 r2 + γ^3 r3
+        gamma = 0.5
+        assert discounted_return([1.0, 1.0, 1.0], gamma) == pytest.approx(
+            0.5 + 0.25 + 0.125
+        )
+
+    def test_earlier_steps_weigh_more(self):
+        early = discounted_return([1.0, 0.0], 0.9)
+        late = discounted_return([0.0, 1.0], 0.9)
+        assert early > late
+
+    def test_empty(self):
+        assert discounted_return([], 0.9) == 0.0
+
+
+class TestRewardConfigValidation:
+    def test_gamma_bounds(self):
+        with pytest.raises(ValueError):
+            RewardConfig(gamma=0.0)
+        with pytest.raises(ValueError):
+            RewardConfig(gamma=1.0)
+
+    def test_penalty_must_dominate(self):
+        with pytest.raises(ValueError):
+            RewardConfig(valid_bonus=0.5, invalid_penalty=-0.1)
+
+    def test_unknown_fenum(self):
+        with pytest.raises(ValueError):
+            RewardConfig(fenum="sqrt")

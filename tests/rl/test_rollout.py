@@ -1,0 +1,90 @@
+"""Tests for trajectory collection."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureBuilder, PolicyNetwork, RLQVOConfig
+from repro.graphs import Graph, check_order
+from repro.rl import collect_trajectory
+
+
+@pytest.fixture(scope="module")
+def setup(data_graph, data_stats):
+    config = RLQVOConfig(hidden_dim=16, seed=0)
+    policy = PolicyNetwork(config).eval()
+    builder = FeatureBuilder(data_graph, config, data_stats)
+    return policy, builder
+
+
+class TestCollectTrajectory:
+    def test_order_is_valid_connected_permutation(self, setup, queries, rng):
+        policy, builder = setup
+        for query in queries:
+            trajectory = collect_trajectory(policy, query, builder, rng)
+            check_order(query, trajectory.order)
+            assert len(trajectory.steps) == query.num_vertices
+
+    def test_old_probs_are_valid_probabilities(self, setup, queries, rng):
+        policy, builder = setup
+        trajectory = collect_trajectory(policy, queries[0], builder, rng)
+        for step in trajectory.steps:
+            assert 0.0 < step.old_prob <= 1.0
+
+    def test_singleton_action_spaces_skip_policy(self, setup, rng):
+        policy, builder = setup
+        # A path: after the first pick at an end, every step is forced
+        # until branching; at minimum the last vertex is always forced.
+        path = Graph(
+            [0, 0, 0, 0],
+            [(0, 1), (1, 2), (2, 3)],
+        )
+        trajectory = collect_trajectory(policy, path, builder, rng)
+        forced = [s for s in trajectory.steps if not s.computed]
+        assert forced, "a path query must contain forced moves"
+        for step in forced:
+            assert step.old_prob == 1.0
+            assert step.entropy == 0.0
+            assert step.valid
+
+    def test_greedy_rollouts_are_deterministic(self, setup, queries, rng):
+        policy, builder = setup
+        a = collect_trajectory(policy, queries[0], builder, rng, greedy=True)
+        b = collect_trajectory(policy, queries[0], builder, rng, greedy=True)
+        assert a.order == b.order
+
+    def test_sampled_rollouts_vary(self, setup, queries):
+        policy, builder = setup
+        query = queries[0]
+        orders = {
+            tuple(
+                collect_trajectory(
+                    policy, query, builder, np.random.default_rng(seed)
+                ).order
+            )
+            for seed in range(12)
+        }
+        assert len(orders) > 1
+
+    def test_features_have_correct_shape_and_step_columns(self, setup, queries, rng):
+        policy, builder = setup
+        query = queries[0]
+        n = query.num_vertices
+        trajectory = collect_trajectory(policy, query, builder, rng)
+        for t, step in enumerate(trajectory.steps):
+            assert step.features.shape == (n, 7)
+            # Column 6: |V(q)| - t  (remaining count signal)
+            assert step.features[0, 5] == n - t
+            # Column 7: ordered indicator sums to t
+            assert step.features[:, 6].sum() == t
+
+    def test_rewards_start_empty(self, setup, queries, rng):
+        policy, builder = setup
+        trajectory = collect_trajectory(policy, queries[0], builder, rng)
+        assert trajectory.rewards == []
+
+    def test_policy_steps_indexing(self, setup, queries, rng):
+        policy, builder = setup
+        trajectory = collect_trajectory(policy, queries[0], builder, rng)
+        for index, step in trajectory.policy_steps():
+            assert trajectory.steps[index] is step
+            assert step.computed
