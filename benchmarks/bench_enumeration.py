@@ -1,0 +1,119 @@
+"""Micro-benchmark: recursive vs iterative enumeration throughput.
+
+Runs both engines over the same query workloads and prints per-workload
+``#enum``/second plus the speedup, so future PRs can track the hot path.
+Not collected by pytest (no ``test_`` prefix) — run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_enumeration.py [--quick]
+
+Exit code is non-zero if the engines ever disagree on ``#enum`` or the
+match count, so CI doubles as a coarse differential check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.graphs import Graph, chung_lu, erdos_renyi, extract_query
+from repro.matching import Enumerator, GQLFilter, RIOrderer
+
+STRATEGIES = ("recursive", "iterative")
+
+
+def _workloads(quick: bool):
+    sparse = chung_lu(400 if quick else 800, 6.0, 8, seed=7)
+    dense = erdos_renyi(60 if quick else 80, 600 if quick else 1200, 2, seed=3)
+    count = 3 if quick else 8
+    size = 6 if quick else 8
+    yield "sparse-powerlaw", sparse, count, size
+    yield "dense-uniform", dense, count, size
+
+
+def _deep_path(depth: int) -> Graph:
+    return Graph(list(range(depth)), [(i, i + 1) for i in range(depth - 1)])
+
+
+def bench_workload(name: str, data: Graph, count: int, size: int) -> bool:
+    """Time both engines on one workload; returns True if they agree."""
+    rng = np.random.default_rng(5)
+    instances = []
+    for _ in range(count):
+        query = extract_query(data, size, rng)
+        candidates = GQLFilter().filter(query, data)
+        if candidates.has_empty():
+            continue
+        order = RIOrderer().order(query, data, candidates)
+        instances.append((query, candidates, order))
+
+    totals: dict[str, tuple[int, int, float]] = {}
+    for strategy in STRATEGIES:
+        enumerator = Enumerator(
+            strategy=strategy, match_limit=100_000, time_limit=30.0
+        )
+        enum_total = match_total = 0
+        start = time.perf_counter()
+        for query, candidates, order in instances:
+            result = enumerator.run(query, data, candidates, order)
+            enum_total += result.num_enumerations
+            match_total += result.num_matches
+        elapsed = time.perf_counter() - start
+        totals[strategy] = (enum_total, match_total, elapsed)
+        print(
+            f"  {name:<18} {strategy:<10} "
+            f"#enum={enum_total:>10,}  matches={match_total:>9,}  "
+            f"{elapsed:6.2f}s  {enum_total / max(elapsed, 1e-9) / 1e3:8.1f}k steps/s"
+        )
+
+    rec, it = totals["recursive"], totals["iterative"]
+    speedup = rec[2] / max(it[2], 1e-9)
+    print(f"  {name:<18} speedup(iterative) = {speedup:.2f}x")
+    agree = rec[:2] == it[:2]
+    if not agree:
+        print(f"  {name}: ENGINE DISAGREEMENT recursive={rec[:2]} iterative={it[:2]}")
+    return agree
+
+
+def bench_deep_path(quick: bool) -> bool:
+    """The structural fix: a path deeper than the recursion limit."""
+    depth = 2 * sys.getrecursionlimit()
+    path = _deep_path(depth)
+    from repro.matching import CandidateSets
+
+    candidates = CandidateSets([[i] for i in range(depth)])
+    order = list(range(depth))
+    start = time.perf_counter()
+    result = Enumerator(strategy="iterative", match_limit=None).run(
+        path, path, candidates, order
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"  deep-path({depth})   iterative  "
+        f"#enum={result.num_enumerations:>10,}  matches={result.num_matches:>9,}  "
+        f"{elapsed:6.2f}s  (recursive engine: RecursionError)"
+    )
+    return result.num_matches == 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads for CI"
+    )
+    args = parser.parse_args(argv)
+
+    print("enumeration micro-benchmark (recursive vs iterative)")
+    ok = True
+    for name, data, count, size in _workloads(args.quick):
+        ok &= bench_workload(name, data, count, size)
+    ok &= bench_deep_path(args.quick)
+    print("engines agree" if ok else "ENGINES DISAGREE")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

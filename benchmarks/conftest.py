@@ -43,7 +43,14 @@ def bench_settings() -> BenchSettings:
     settings = BenchSettings(**_DEFAULTS)
     env = BenchSettings.from_env()
     overrides = {}
-    for field in ("query_count", "time_limit", "match_limit", "train_epochs", "seed"):
+    for field in (
+        "query_count",
+        "time_limit",
+        "match_limit",
+        "train_epochs",
+        "seed",
+        "enum_strategy",
+    ):
         env_value = getattr(env, field)
         if env_value != getattr(BenchSettings(), field):
             overrides[field] = env_value

@@ -77,7 +77,13 @@ def test_algorithm_and_reward_ablation(benchmark, harness, record):
 
 
 def test_candidate_space_preserves_semantics(benchmark, harness, record):
-    """CS-indexed enumeration: identical matches/#enum, different constants."""
+    """CS-indexed / iterative enumeration: identical matches and ``#enum``.
+
+    The ablation pins ``strategy="recursive"`` for the direct/CS-indexed
+    pair — ``use_candidate_space`` only exists on the recursive engine —
+    and adds the default iterative engine as a third column so the
+    production path is differential-tested at bench scale too.
+    """
 
     def run():
         dataset = "yeast"
@@ -85,10 +91,12 @@ def test_candidate_space_preserves_semantics(benchmark, harness, record):
         stats = dataset_stats(dataset)
         workload = harness.workload(dataset, 8)
         gql = GQLFilter()
-        plain = Enumerator(match_limit=None, time_limit=5.0)
+        plain = Enumerator(match_limit=None, time_limit=5.0, strategy="recursive")
         indexed = Enumerator(
-            match_limit=None, time_limit=5.0, use_candidate_space=True
+            match_limit=None, time_limit=5.0, strategy="recursive",
+            use_candidate_space=True,
         )
+        iterative = Enumerator(match_limit=None, time_limit=5.0)
         rows = []
         payload = []
         for i, query in enumerate(workload.eval):
@@ -102,20 +110,27 @@ def test_candidate_space_preserves_semantics(benchmark, harness, record):
             t0 = time.perf_counter()
             b = indexed.run(query, data, candidates, order)
             t_indexed = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            c = iterative.run(query, data, candidates, order)
+            t_iter = time.perf_counter() - t0
             payload.append(
                 {
-                    "matches_equal": a.num_matches == b.num_matches,
-                    "enum_equal": a.num_enumerations == b.num_enumerations,
+                    "matches_equal": a.num_matches == b.num_matches
+                    == c.num_matches,
+                    "enum_equal": a.num_enumerations == b.num_enumerations
+                    == c.num_enumerations,
                     "t_plain": t_plain,
                     "t_indexed": t_indexed,
+                    "t_iterative": t_iter,
                 }
             )
             rows.append(
                 [i, a.num_matches, a.num_enumerations,
-                 f"{t_plain * 1e3:.1f}ms", f"{t_indexed * 1e3:.1f}ms"]
+                 f"{t_plain * 1e3:.1f}ms", f"{t_indexed * 1e3:.1f}ms",
+                 f"{t_iter * 1e3:.1f}ms"]
             )
         print_table(
-            ["q", "matches", "#enum", "direct", "cs-indexed"],
+            ["q", "matches", "#enum", "direct", "cs-indexed", "iterative"],
             rows,
             title="Ablation — candidate-space enumeration (yeast Q8)",
         )

@@ -38,6 +38,7 @@ from repro.matching import (
     CandidateSets,
     Enumerator,
     GQLFilter,
+    IterativeEnumerator,
     MatchingEngine,
     MatchResult,
     Orderer,
@@ -55,6 +56,7 @@ __all__ = [
     "GQLFilter",
     "Graph",
     "GraphStats",
+    "IterativeEnumerator",
     "MatchResult",
     "MatchingEngine",
     "Orderer",

@@ -33,9 +33,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--queries", type=int, help="queries per workload")
     parser.add_argument("--epochs", type=int, help="RL-QVO training epochs")
-    parser.add_argument("--time-limit", type=float, help="per-query deadline (s)")
+    parser.add_argument(
+        "--time-limit", type=float,
+        help="per-query deadline (s); the paper charges unsolved queries 500",
+    )
     parser.add_argument("--match-limit", type=str, help="match cap or 'none'")
     parser.add_argument("--seed", type=int, help="workload / training seed")
+    parser.add_argument(
+        "--enum-strategy", choices=["iterative", "recursive"],
+        help="enumeration engine (default: iterative)",
+    )
     return parser
 
 
@@ -54,6 +61,8 @@ def _settings_from_args(args: argparse.Namespace) -> BenchSettings:
         )
     if args.seed is not None:
         updates["seed"] = args.seed
+    if args.enum_strategy is not None:
+        updates["enum_strategy"] = args.enum_strategy
     if updates:
         from dataclasses import replace
 

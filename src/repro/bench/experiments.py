@@ -237,7 +237,9 @@ def fig6(
     """
     settings = harness.settings
     enumerator = Enumerator(
-        match_limit=match_limit, time_limit=settings.time_limit
+        match_limit=match_limit,
+        time_limit=settings.time_limit,
+        strategy=settings.enum_strategy,
     )
     payload: dict[str, dict] = {}
     for dataset in datasets:

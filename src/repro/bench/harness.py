@@ -77,7 +77,7 @@ class BenchSettings:
     Environment overrides (read by :meth:`from_env`):
     ``REPRO_BENCH_QUERIES``, ``REPRO_BENCH_TIME_LIMIT``,
     ``REPRO_BENCH_MATCH_LIMIT``, ``REPRO_BENCH_EPOCHS``,
-    ``REPRO_BENCH_SEED``.
+    ``REPRO_BENCH_SEED``, ``REPRO_BENCH_ENUM_STRATEGY``.
     """
 
     query_count: int = 16
@@ -91,6 +91,10 @@ class BenchSettings:
     hidden_dim: int = 64
     num_gnn_layers: int = 2
     seed: int = 0
+    #: Enumeration engine used across the suite ("iterative" or
+    #: "recursive"); the recursive oracle is exposed so regressions can be
+    #: bisected to the engine.
+    enum_strategy: str = "iterative"
 
     @staticmethod
     def from_env() -> "BenchSettings":
@@ -101,6 +105,7 @@ class BenchSettings:
             "REPRO_BENCH_TIME_LIMIT": ("time_limit", float),
             "REPRO_BENCH_EPOCHS": ("train_epochs", int),
             "REPRO_BENCH_SEED": ("seed", int),
+            "REPRO_BENCH_ENUM_STRATEGY": ("enum_strategy", str),
         }
         for env, (attr, cast) in mapping.items():
             if env in os.environ:
@@ -120,6 +125,7 @@ class BenchSettings:
             train_match_limit=self.train_match_limit,
             train_time_limit=self.train_time_limit,
             rollouts_per_query=self.rollouts_per_query,
+            enum_strategy=self.enum_strategy,
             seed=self.seed,
         )
         base.update(overrides)
@@ -241,6 +247,7 @@ class Harness:
             match_limit=match_limit,
             time_limit=self.settings.time_limit,
             record_matches=False,
+            strategy=self.settings.enum_strategy,
         )
         engine = method_engine(method, enumerator, orderer)
         data = load_dataset(dataset)

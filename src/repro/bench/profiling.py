@@ -8,9 +8,8 @@ candidate statistics, the estimated search-space size, and the measured
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-
-
 
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
@@ -54,8 +53,16 @@ def profile_query(
     measure: bool = True,
     match_limit: int | None = 10_000,
     time_limit: float | None = 2.0,
+    enum_strategy: str | None = None,
 ) -> QueryProfile:
-    """Profile one query's difficulty against ``data``."""
+    """Profile one query's difficulty against ``data``.
+
+    ``enum_strategy`` defaults to ``REPRO_BENCH_ENUM_STRATEGY`` (else
+    ``"iterative"``) so profiles use the same engine as the benchmark
+    suite they explain.
+    """
+    if enum_strategy is None:
+        enum_strategy = os.environ.get("REPRO_BENCH_ENUM_STRATEGY", "iterative")
     candidate_filter = candidate_filter if candidate_filter is not None else GQLFilter()
     candidates = candidate_filter.filter(query, data, stats)
     sizes = tuple(candidates.sizes())
@@ -69,7 +76,9 @@ def profile_query(
 
     measured: dict[str, int] = {}
     if measure and not candidates.has_empty():
-        enumerator = Enumerator(match_limit=match_limit, time_limit=time_limit)
+        enumerator = Enumerator(
+            match_limit=match_limit, time_limit=time_limit, strategy=enum_strategy
+        )
         for orderer in (RIOrderer(), GQLOrderer(), RandomOrderer(seed=0)):
             order = orderer.order(query, data, candidates, stats)
             run = enumerator.run(query, data, candidates, order)

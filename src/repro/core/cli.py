@@ -48,7 +48,16 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["ppo", "reinforce", "actor_critic"],
     )
     parser.add_argument("--train-match-limit", type=int, default=2000)
-    parser.add_argument("--train-time-limit", type=float, default=1.0)
+    parser.add_argument(
+        "--train-time-limit", type=float, default=1.0,
+        help="per-rollout enumeration deadline (s); the paper's full-scale "
+        "runs use 500",
+    )
+    parser.add_argument(
+        "--enum-strategy", default="iterative",
+        choices=["iterative", "recursive"],
+        help="enumeration engine for reward rollouts",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--incremental-from", type=int, metavar="SIZE",
@@ -74,6 +83,7 @@ def main(argv: list[str] | None = None) -> int:
         algorithm=args.algorithm,
         train_match_limit=args.train_match_limit,
         train_time_limit=args.train_time_limit,
+        enum_strategy=args.enum_strategy,
         seed=args.seed,
     )
     data = load_dataset(args.dataset)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ModelError
+from repro.matching.enumeration import DEFAULT_TIME_LIMIT, ENUMERATION_STRATEGIES
 from repro.rl.reward import RewardConfig
 
 __all__ = ["RLQVOConfig"]
@@ -41,8 +42,13 @@ class RLQVOConfig:
         policy is refreshed.
     train_match_limit / train_time_limit:
         Enumeration limits applied during reward computation; the paper
-        caps at the first 10^5 matches and skips queries over the time
-        limit during training.
+        caps at the first 10^5 matches and skips queries over the
+        500 s wall-clock limit during training
+        (:data:`repro.matching.enumeration.DEFAULT_TIME_LIMIT`).
+    enum_strategy:
+        Enumeration engine used for reward rollouts: ``"iterative"``
+        (default, depth-independent) or ``"recursive"`` (the original
+        engine, kept as a differential-testing oracle).
     use_entropy_reward / use_validity_reward:
         Toggles for the NoEnt / NoVal ablations.
     seed:
@@ -78,7 +84,8 @@ class RLQVOConfig:
     #: epoch, so it is opt-in.
     track_best_policy: bool = False
     train_match_limit: int | None = 100_000
-    train_time_limit: float | None = 500.0
+    train_time_limit: float | None = DEFAULT_TIME_LIMIT
+    enum_strategy: str = "iterative"
     use_entropy_reward: bool = True
     use_validity_reward: bool = True
     reward: RewardConfig = field(default_factory=RewardConfig)
@@ -99,6 +106,11 @@ class RLQVOConfig:
             raise ModelError("rollouts_per_query must be >= 1")
         if self.algorithm not in ("ppo", "reinforce", "actor_critic"):
             raise ModelError(f"unknown algorithm {self.algorithm!r}")
+        if self.enum_strategy not in ENUMERATION_STRATEGIES:
+            raise ModelError(
+                f"unknown enum_strategy {self.enum_strategy!r}; "
+                f"options: {ENUMERATION_STRATEGIES}"
+            )
 
     def effective_reward(self) -> RewardConfig:
         """Reward config with ablation toggles applied (β zeroed when off)."""

@@ -117,6 +117,7 @@ class RLQVOTrainer:
             match_limit=self.config.train_match_limit,
             time_limit=self.config.train_time_limit,
             record_matches=False,
+            strategy=self.config.enum_strategy,
         )
         # Per-query caches (keyed by object identity; query sets are reused
         # across epochs).

@@ -4,7 +4,14 @@ from repro.matching.bipartite import has_semi_perfect_matching, hopcroft_karp
 from repro.matching.candidate_space import CandidateSpace
 from repro.matching.candidates import CandidateFilter, CandidateSets
 from repro.matching.engine import MatchingEngine, MatchResult
-from repro.matching.enumeration import EnumerationResult, Enumerator
+from repro.matching.enumeration import (
+    DEFAULT_TIME_LIMIT,
+    ENUMERATION_STRATEGIES,
+    EnumerationResult,
+    Enumerator,
+    IterativeEnumerator,
+)
+from repro.matching.enumeration_iter import intersect_sorted
 from repro.matching.filters import (
     FILTERS,
     CFLFilter,
@@ -34,10 +41,13 @@ __all__ = [
     "CandidateFilter",
     "CandidateSets",
     "CandidateSpace",
+    "DEFAULT_TIME_LIMIT",
     "DPisoFilter",
+    "ENUMERATION_STRATEGIES",
     "EnumerationResult",
     "Enumerator",
     "FILTERS",
+    "IterativeEnumerator",
     "GQLFilter",
     "GQLOrderer",
     "LDFFilter",
@@ -56,6 +66,7 @@ __all__ = [
     "explain_embedding",
     "has_semi_perfect_matching",
     "hopcroft_karp",
+    "intersect_sorted",
     "is_valid_embedding",
     "rank_orders",
     "verify_all",

@@ -13,11 +13,19 @@ is the drop-in replacement for Line 6 of Algorithm 2, and
 ``Enumerator(use_candidate_space=True)`` (see
 :mod:`repro.matching.enumeration`) uses it transparently — the match set
 and ``#enum`` are unchanged, only the per-call constant drops.
+
+Per-edge adjacency lists are built as sorted int64 arrays
+(:meth:`CandidateSpace.edge_arrays`), which the iterative engine
+(:mod:`repro.matching.enumeration_iter`) folds with vectorised
+sorted-array intersections.  The frozenset view used by the recursive
+engine's membership tests is derived lazily, one edge direction at a
+time, on first access — a build that only ever feeds the iterative
+engine never pays for it.
 """
 
 from __future__ import annotations
 
-
+import numpy as np
 
 from repro.errors import FilterError
 from repro.graphs.graph import Graph
@@ -26,6 +34,8 @@ from repro.matching.candidates import CandidateSets
 __all__ = ["CandidateSpace"]
 
 _EMPTY: frozenset[int] = frozenset()
+_EMPTY_ARRAY = np.empty(0, dtype=np.int64)
+_EMPTY_ARRAY.setflags(write=False)
 
 
 class CandidateSpace:
@@ -45,28 +55,63 @@ class CandidateSpace:
         self.query = query
         self.data = data
         self.candidates = candidates
-        # _edges[(u, u_prime)][v] = frozenset(N(v) ∩ C(u_prime)) for v in C(u)
+        # _edge_arrays[(u, u_prime)][v] = sorted array of N(v) ∩ C(u_prime)
+        # for v in C(u); _edges holds the frozenset view of the same lists,
+        # derived lazily per direction on first set-based access.
         self._edges: dict[tuple[int, int], dict[int, frozenset[int]]] = {}
+        self._edge_arrays: dict[tuple[int, int], dict[int, np.ndarray]] = {}
         for u, u_prime in query.edges():
-            self._edges[(u, u_prime)] = self._build_direction(u, u_prime)
-            self._edges[(u_prime, u)] = self._build_direction(u_prime, u)
+            self._edge_arrays[(u, u_prime)] = self._build_direction(u, u_prime)
+            self._edge_arrays[(u_prime, u)] = self._build_direction(u_prime, u)
 
-    def _build_direction(self, u: int, u_prime: int) -> dict[int, frozenset[int]]:
+    def _build_direction(self, u: int, u_prime: int) -> dict[int, np.ndarray]:
         target = self.candidates.get(u_prime)
-        out: dict[int, frozenset[int]] = {}
+        arrays: dict[int, np.ndarray] = {}
         for v in self.candidates.get(u):
-            adjacent = frozenset(
-                int(w) for w in self.data.neighbors(v) if int(w) in target
-            )
-            out[v] = adjacent
-        return out
+            # data.neighbors(v) is sorted, so the filtered list stays sorted.
+            adjacent = [int(w) for w in self.data.neighbors(v) if int(w) in target]
+            arr = np.asarray(adjacent, dtype=np.int64)
+            arr.setflags(write=False)
+            arrays[v] = arr
+        return arrays
+
+    def _sets_for(
+        self, key: tuple[int, int]
+    ) -> dict[int, frozenset[int]] | None:
+        """Frozenset view of one edge direction (built on first use)."""
+        sets = self._edges.get(key)
+        if sets is None:
+            arrays = self._edge_arrays.get(key)
+            if arrays is None:
+                return None
+            sets = {v: frozenset(arr.tolist()) for v, arr in arrays.items()}
+            self._edges[key] = sets
+        return sets
 
     def edge_candidates(self, u: int, u_prime: int, v: int) -> frozenset[int]:
         """``N(v) ∩ C(u')`` for ``v ∈ C(u)`` along query edge ``(u, u')``."""
-        direction = self._edges.get((u, u_prime))
+        direction = self._sets_for((u, u_prime))
         if direction is None:
             raise FilterError(f"({u}, {u_prime}) is not a query edge")
         return direction.get(v, _EMPTY)
+
+    def edge_candidates_array(self, u: int, u_prime: int, v: int) -> np.ndarray:
+        """:meth:`edge_candidates` as a sorted int64 array."""
+        direction = self._edge_arrays.get((u, u_prime))
+        if direction is None:
+            raise FilterError(f"({u}, {u_prime}) is not a query edge")
+        return direction.get(v, _EMPTY_ARRAY)
+
+    def edge_arrays(self, u: int, u_prime: int) -> dict[int, np.ndarray]:
+        """The whole ``v -> N(v) ∩ C(u')`` array map for query edge ``(u, u')``.
+
+        The iterative enumeration engine pre-binds these dicts per depth
+        so its hot loop is a plain lookup plus array intersections.
+        """
+        direction = self._edge_arrays.get((u, u_prime))
+        if direction is None:
+            raise FilterError(f"({u}, {u_prime}) is not a query edge")
+        return direction
 
     def local_candidates(
         self, u: int, mapped: list[tuple[int, int]]
@@ -93,11 +138,15 @@ class CandidateSpace:
     def memory_bytes(self) -> int:
         """Approximate index footprint (for space-overhead reporting)."""
         total = 0
+        for direction in self._edge_arrays.values():
+            for arr in direction.values():
+                total += 8 * (arr.size + 1)
+        # Lazily materialized frozenset views count once they exist.
         for direction in self._edges.values():
             for adjacent in direction.values():
                 total += 8 * (len(adjacent) + 1)
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        pairs = sum(len(d) for d in self._edges.values())
-        return f"CandidateSpace(edges={len(self._edges) // 2}, entries={pairs})"
+        pairs = sum(len(d) for d in self._edge_arrays.values())
+        return f"CandidateSpace(edges={len(self._edge_arrays) // 2}, entries={pairs})"

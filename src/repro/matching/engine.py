@@ -84,14 +84,16 @@ class MatchingEngine:
         t0 = time.perf_counter()
         candidates = self.candidate_filter.filter(query, data, stats)
         t1 = time.perf_counter()
-        order = self.orderer.order(query, data, candidates, stats, rng)
-        t2 = time.perf_counter()
 
         if candidates.has_empty():
-            # No embedding can exist; report an empty (instant) enumeration.
+            # No embedding can exist: skip the ordering phase entirely
+            # (nothing to bill it for) and report an instant enumeration.
+            # The identity order stands in for the never-computed φ.
             empty = EnumerationResult(0, 0, 0.0, False, False, ())
-            return MatchResult(tuple(order), empty, t1 - t0, t2 - t1)
+            return MatchResult(tuple(range(query.num_vertices)), empty, t1 - t0, 0.0)
 
+        order = self.orderer.order(query, data, candidates, stats, rng)
+        t2 = time.perf_counter()
         enumeration = self.enumerator.run(query, data, candidates, order)
         return MatchResult(tuple(order), enumeration, t1 - t0, t2 - t1)
 

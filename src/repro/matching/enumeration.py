@@ -1,29 +1,72 @@
 """Backtracking enumeration procedure (Algorithm 2, Def. II.5–II.6).
 
 Given a query graph, data graph, candidate sets and a matching order
-``φ``, :class:`Enumerator` recursively extends partial embeddings.  At
-position ``i`` it maps ``u = φ[i]`` to each vertex of the local candidate
-set (Line 6): candidates of ``u`` adjacent to the images of all backward
-neighbours ``N^φ_+(u)`` and not already used (injectivity).
+``φ``, :class:`Enumerator` extends partial embeddings position by
+position.  At position ``i`` it maps ``u = φ[i]`` to each vertex of the
+local candidate set (Line 6): candidates of ``u`` adjacent to the images
+of all backward neighbours ``N^φ_+(u)`` and not already used
+(injectivity).
 
-``#enum`` counts the recursive calls of the procedure — the paper's
-order-quality metric (Def. II.6).  The enumerator honours a match limit
-(the paper caps runs at the first 10^5 matches) and a wall-clock deadline
-(the paper's 500 s limit), reporting both in the result.
+Two engines implement the procedure:
+
+* ``strategy="iterative"`` (the default) — an explicit-stack DFS over
+  per-depth cursors into sorted numpy candidate arrays, with local
+  candidates computed by sorted-array intersection against the
+  :class:`~repro.matching.candidate_space.CandidateSpace` per-edge
+  index (see :mod:`repro.matching.enumeration_iter`).  It uses O(1)
+  Python stack frames regardless of query depth, so deep path queries
+  that used to die with :class:`RecursionError` now enumerate fine, and
+  the flat loop sheds most of the per-call interpreter overhead.
+* ``strategy="recursive"`` — the original one-frame-per-vertex
+  recursion.  It is kept as the *differential-testing oracle*: both
+  engines visit candidates in ascending vertex order, so match
+  sequences and ``#enum`` are bit-identical (including under
+  ``match_limit`` truncation), and the equivalence tests compare them
+  on random instances.  Note its depth is bounded by
+  ``sys.getrecursionlimit()`` — it is not for production paths.
+
+``#enum`` counts the extension steps of the procedure (for the
+recursive engine, its recursive calls) — the paper's order-quality
+metric (Def. II.6).  The enumerator honours a match limit (the paper
+caps runs at the first 10^5 matches) and a wall-clock deadline
+(:data:`DEFAULT_TIME_LIMIT`, the paper's 500 s cap, unless overridden),
+reporting both in the result.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import EnumerationError
 from repro.graphs.graph import Graph
 from repro.graphs.validation import check_order
+from repro.matching.candidate_space import CandidateSpace
 from repro.matching.candidates import CandidateSets
+from repro.matching.enumeration_iter import enumerate_iterative
 
-__all__ = ["EnumerationResult", "Enumerator"]
+__all__ = [
+    "DEFAULT_TIME_LIMIT",
+    "ENUMERATION_STRATEGIES",
+    "EnumerationResult",
+    "Enumerator",
+    "IterativeEnumerator",
+]
+
+#: The paper's per-query wall-clock cap (Sec. IV-A): runs that exceed it
+#: report ``timed_out`` instead of hanging.  Pass ``time_limit=None``
+#: explicitly for an unlimited run.
+DEFAULT_TIME_LIMIT: float = 500.0
+
+#: Engine implementations selectable via ``Enumerator(strategy=...)``.
+ENUMERATION_STRATEGIES: tuple[str, ...] = ("iterative", "recursive")
+
+#: (query, data, candidates) triples cached per enumerator; repeated runs
+#: on the same instance (reward rollouts, optimal-order sweeps) reuse the
+#: per-edge index instead of rebuilding it.
+_SPACE_CACHE_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -35,7 +78,7 @@ class EnumerationResult:
     num_matches:
         Number of embeddings found (possibly truncated by the limits).
     num_enumerations:
-        ``#enum`` — recursive calls performed (Def. II.6).
+        ``#enum`` — extension steps performed (Def. II.6).
     elapsed:
         Wall-clock seconds spent inside the procedure.
     timed_out:
@@ -65,40 +108,59 @@ class _Stop(Exception):
 
 
 class Enumerator:
-    """Recursive backtracking enumerator with limits.
+    """Backtracking enumerator with limits and selectable engine.
 
     Parameters
     ----------
     match_limit:
         Stop after this many embeddings (``None`` = find all).
     time_limit:
-        Wall-clock budget in seconds (``None`` = unlimited).
+        Wall-clock budget in seconds; defaults to the paper's 500 s cap
+        (:data:`DEFAULT_TIME_LIMIT`), ``None`` = unlimited.
     record_matches:
         Whether to materialize embeddings (off for pure counting runs).
     check_every:
-        Deadline check cadence, in recursive calls.
+        Deadline check cadence, in extension steps.
+    use_candidate_space:
+        Recursive engine only: compute local candidates from the
+        per-edge index instead of raw adjacency scans.  The iterative
+        engine always uses the index.
+    strategy:
+        ``"iterative"`` (default, depth-independent) or ``"recursive"``
+        (the original engine, kept as the differential-testing oracle).
     """
 
     def __init__(
         self,
         match_limit: int | None = 100_000,
-        time_limit: float | None = None,
+        time_limit: float | None = DEFAULT_TIME_LIMIT,
         record_matches: bool = False,
         check_every: int = 2048,
         use_candidate_space: bool = False,
+        strategy: str = "iterative",
     ):
         if match_limit is not None and match_limit < 1:
             raise EnumerationError("match_limit must be >= 1 or None")
         if time_limit is not None and time_limit <= 0:
             raise EnumerationError("time_limit must be positive or None")
+        if strategy not in ENUMERATION_STRATEGIES:
+            raise EnumerationError(
+                f"unknown strategy {strategy!r}; options: {ENUMERATION_STRATEGIES}"
+            )
         self.match_limit = match_limit
         self.time_limit = time_limit
         self.record_matches = record_matches
         self.check_every = max(1, check_every)
-        #: Precompute a CECI/DP-iso-style per-edge candidate index and use
-        #: it for local-candidate computation.  Same match set and #enum;
-        #: trades index build time for cheaper recursion steps.
+        #: Recursive engine: precompute a CECI/DP-iso-style per-edge
+        #: candidate index and use it for local-candidate computation.
+        #: Same match set and #enum; trades index build time for cheaper
+        #: recursion steps.
         self.use_candidate_space = use_candidate_space
+        self.strategy = strategy
+        self._space_cache: OrderedDict[
+            tuple[int, int, int],
+            tuple[Graph, Graph, CandidateSets, CandidateSpace],
+        ] = OrderedDict()
 
     def run(
         self,
@@ -116,7 +178,10 @@ class Enumerator:
         n = query.num_vertices
         start_time = time.perf_counter()
         if n == 0:
-            return EnumerationResult(1, 1, 0.0, False, False, ((),))
+            # The empty query has exactly one (empty) embedding; like any
+            # other run, it is materialized only on request.
+            matches = ((),) if self.record_matches else ()
+            return EnumerationResult(1, 1, 0.0, False, False, matches)
 
         position = {u: i for i, u in enumerate(order)}
         # Backward neighbours by *position* in the order.
@@ -126,6 +191,84 @@ class Enumerator:
                 sorted(position[int(v)] for v in query.neighbors(u) if position[int(v)] < i)
             )
 
+        if self.strategy == "iterative":
+            return self._run_iterative(query, data, candidates, order, backward, start_time)
+        return self._run_recursive(query, data, candidates, order, backward, start_time)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _candidate_space(
+        self, query: Graph, data: Graph, candidates: CandidateSets
+    ) -> CandidateSpace:
+        """Per-edge index for this instance, LRU-cached across runs."""
+        key = (id(query), id(data), id(candidates))
+        hit = self._space_cache.get(key)
+        if (
+            hit is not None
+            and hit[0] is query
+            and hit[1] is data
+            and hit[2] is candidates
+        ):
+            self._space_cache.move_to_end(key)
+            return hit[3]
+        space = CandidateSpace(query, data, candidates)
+        self._space_cache[key] = (query, data, candidates, space)
+        if len(self._space_cache) > _SPACE_CACHE_SIZE:
+            self._space_cache.popitem(last=False)
+        return space
+
+    # ------------------------------------------------------------------
+    # Iterative engine (default)
+    # ------------------------------------------------------------------
+    def _run_iterative(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        order: list[int],
+        backward: list[list[int]],
+        start_time: float,
+    ) -> EnumerationResult:
+        space = self._candidate_space(query, data, candidates)
+        deadline = (
+            start_time + self.time_limit if self.time_limit is not None else None
+        )
+        found, enum, timed_out, limited, matches = enumerate_iterative(
+            query,
+            data,
+            candidates,
+            order,
+            backward,
+            space,
+            self.match_limit,
+            deadline,
+            self.check_every,
+            self.record_matches,
+        )
+        elapsed = time.perf_counter() - start_time
+        return EnumerationResult(
+            num_matches=found,
+            num_enumerations=enum,
+            elapsed=elapsed,
+            timed_out=timed_out,
+            limit_reached=limited,
+            matches=tuple(matches),
+        )
+
+    # ------------------------------------------------------------------
+    # Recursive engine (differential-testing oracle)
+    # ------------------------------------------------------------------
+    def _run_recursive(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        order: list[int],
+        backward: list[list[int]],
+        start_time: float,
+    ) -> EnumerationResult:
+        n = query.num_vertices
         cand_sets = [candidates.get(u) for u in order]
         cand_arrays = [candidates.array(u) for u in order]
         neighbor_set = data.neighbor_set
@@ -133,9 +276,7 @@ class Enumerator:
         degree = data.degree
         candidate_space = None
         if self.use_candidate_space:
-            from repro.matching.candidate_space import CandidateSpace
-
-            candidate_space = CandidateSpace(query, data, candidates)
+            candidate_space = self._candidate_space(query, data, candidates)
 
         images: list[int] = [-1] * n
         used: set[int] = set()
@@ -235,3 +376,20 @@ class Enumerator:
             limit_reached=state["limited"],
             matches=tuple(matches),
         )
+
+
+class IterativeEnumerator(Enumerator):
+    """The array-based engine, pinned to ``strategy="iterative"``.
+
+    A convenience alias for call sites that want the depth-independent
+    engine explicitly; behaviour is exactly ``Enumerator(...)`` with the
+    default strategy, and all other parameters pass through unchanged.
+    """
+
+    def __init__(self, *args, **kwargs):
+        if "strategy" in kwargs:
+            raise EnumerationError(
+                "IterativeEnumerator pins strategy='iterative'; "
+                "use Enumerator(strategy=...) to choose an engine"
+            )
+        super().__init__(*args, strategy="iterative", **kwargs)

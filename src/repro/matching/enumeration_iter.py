@@ -1,0 +1,174 @@
+"""Iterative, array-based enumeration core (explicit stack, no recursion).
+
+The recursive engine in :mod:`repro.matching.enumeration` spends one
+Python stack frame per query vertex, so a query path longer than the
+interpreter's recursion limit raises :class:`RecursionError` before the
+search even gets going.  This module holds the flat replacement: a DFS
+driven by per-depth cursors into *sorted numpy candidate arrays*, in the
+style of LIVE's and NeuSO's index-driven enumeration loops.
+
+Local candidates at depth ``i`` are computed by sorted-array
+intersection (:func:`intersect_sorted` — ``np.intersect1d`` for balanced
+inputs, a ``searchsorted`` gallop when one side dwarfs the other) over
+the :class:`~repro.matching.candidate_space.CandidateSpace` per-edge
+index, then filtered for injectivity with one vectorised boolean mask.
+
+The traversal visits candidates in ascending vertex order — exactly the
+order the recursive engine's sorted adjacency scans produce — so the two
+engines yield *identical* match sequences and identical ``#enum``
+counts, including under ``match_limit`` truncation.  That equivalence is
+what lets the recursive engine serve as a differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.matching.candidate_space import CandidateSpace
+from repro.matching.candidates import CandidateSets
+
+__all__ = ["intersect_sorted", "enumerate_iterative"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+#: When one sorted array is this many times longer than the other,
+#: binary-searching the long one beats the linear merge.
+_GALLOP_RATIO = 16
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted arrays of unique int64 vertex ids.
+
+    Dispatches between ``np.intersect1d`` (comparable sizes) and a
+    galloping ``searchsorted`` membership test (lopsided sizes).
+    """
+    if a.size == 0 or b.size == 0:
+        return _EMPTY
+    if a.size > b.size:
+        a, b = b, a
+    if b.size >= _GALLOP_RATIO * a.size:
+        idx = np.searchsorted(b, a)
+        mask = idx < b.size
+        mask[mask] = b[idx[mask]] == a[mask]
+        return a[mask]
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def enumerate_iterative(
+    query: Graph,
+    data: Graph,
+    candidates: CandidateSets,
+    order: Sequence[int],
+    backward: Sequence[Sequence[int]],
+    space: CandidateSpace,
+    match_limit: int | None,
+    deadline: float | None,
+    check_every: int,
+    record: bool,
+) -> tuple[int, int, bool, bool, list[tuple[int, ...]]]:
+    """Run the explicit-stack DFS; returns raw counters, not a result.
+
+    Parameters mirror one :meth:`Enumerator.run` invocation after its
+    shared validation: ``backward`` lists backward-neighbour *positions*
+    per position in ``order``, ``space`` is the per-edge candidate index
+    for this (query, data, candidates) triple, and ``deadline`` is an
+    absolute ``time.perf_counter`` timestamp.
+
+    Returns ``(num_matches, num_enumerations, timed_out, limit_reached,
+    matches)`` with ``#enum`` counted exactly as the recursive engine
+    counts calls: one for the root plus one per extension attempt.
+    """
+    n = len(order)
+    last = n - 1
+    used = np.zeros(data.num_vertices, dtype=bool)
+    # Per-depth frames: the local candidate list and a cursor into it.
+    cand_stack: list[list[int]] = [[]] * n
+    pos_stack: list[int] = [0] * n
+    images: list[int] = [0] * n
+    matches: list[tuple[int, ...]] = []
+    found = 0
+    timed_out = limited = False
+    perf_counter = time.perf_counter
+
+    # Pre-bind, per depth, the edge-array lookup dict of every backward
+    # neighbour (keyed by that neighbour's image at runtime).
+    base_arrays: list[np.ndarray] = [candidates.array(u) for u in order]
+    lookups: list[list[dict[int, np.ndarray]]] = [
+        [space.edge_arrays(order[b], u) for b in backward[i]]
+        for i, u in enumerate(order)
+    ]
+
+    def local_candidates(depth: int) -> list[int]:
+        backs = backward[depth]
+        if not backs:
+            arr = base_arrays[depth]
+        else:
+            dicts = lookups[depth]
+            if len(backs) == 1:
+                arr = dicts[0].get(images[backs[0]], _EMPTY)
+            else:
+                arrays = [d.get(images[b], _EMPTY) for d, b in zip(dicts, backs)]
+                arrays.sort(key=len)
+                arr = arrays[0]
+                for other in arrays[1:]:
+                    if not arr.size:
+                        break
+                    arr = intersect_sorted(arr, other)
+        if arr.size:
+            # Injectivity: drop images of mapped ancestors.  `used` is
+            # constant while this depth's sibling loop runs, so filtering
+            # here is equivalent to the recursive engine's per-visit check
+            # (used vertices never count towards #enum in either engine).
+            arr = arr[~used[arr]]
+        return arr.tolist()
+
+    # Root "call" (recurse(0) in the recursive engine).
+    enum = 1
+    if deadline is not None and enum % check_every == 0 and perf_counter() > deadline:
+        return 0, enum, True, False, matches
+    depth = 0
+    cand_stack[0] = local_candidates(0)
+    pos_stack[0] = 0
+
+    while depth >= 0:
+        cands = cand_stack[depth]
+        pos = pos_stack[depth]
+        if pos >= len(cands):
+            # Frame exhausted: backtrack and free the parent's image.
+            depth -= 1
+            if depth >= 0:
+                used[images[depth]] = False
+            continue
+        pos_stack[depth] = pos + 1
+        v = cands[pos]
+        enum += 1
+        if (
+            deadline is not None
+            and enum % check_every == 0
+            and perf_counter() > deadline
+        ):
+            timed_out = True
+            break
+        images[depth] = v
+        if depth == last:
+            found += 1
+            if record:
+                by_query_vertex = [0] * n
+                for p in range(n):
+                    by_query_vertex[order[p]] = images[p]
+                matches.append(tuple(by_query_vertex))
+            if match_limit is not None and found >= match_limit:
+                limited = True
+                break
+            continue
+        used[v] = True
+        depth += 1
+        cand_stack[depth] = local_candidates(depth)
+        pos_stack[depth] = 0
+
+    return found, enum, timed_out, limited, matches

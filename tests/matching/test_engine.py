@@ -57,6 +57,22 @@ class TestMatchingEngine:
         assert result.num_enumerations == 0
         assert result.solved
 
+    def test_empty_candidates_skip_ordering_phase(self, instance):
+        _, data = instance
+        impossible = Graph([123, 123], [(0, 1)])
+
+        class ExplodingOrderer(RIOrderer):
+            """Fails the test if the ordering phase runs at all."""
+
+            def order(self, *args, **kwargs):
+                raise AssertionError("orderer must not run on empty candidates")
+
+        engine = MatchingEngine(LDFFilter(), ExplodingOrderer())
+        result = engine.run(impossible, data)
+        assert result.num_matches == 0
+        assert result.order == tuple(range(impossible.num_vertices))
+        assert result.order_time == 0.0
+
     def test_candidates_only(self, instance):
         query, data = instance
         engine = MatchingEngine(GQLFilter(), RIOrderer())

@@ -1,0 +1,199 @@
+"""Differential tests: iterative engine vs the recursive oracle.
+
+The iterative engine must preserve the recursive engine's semantics
+bit-for-bit: same match sequences, same ``#enum``, same limit behaviour.
+These tests compare the two on randomly generated query/data pairs and
+pin the structural fix — a path query deeper than the interpreter's
+recursion limit enumerates fine iteratively while the recursive oracle
+dies with :class:`RecursionError`.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import EnumerationError
+from repro.graphs import Graph, erdos_renyi, extract_query
+from repro.matching import (
+    CandidateSets,
+    Enumerator,
+    GQLFilter,
+    IterativeEnumerator,
+    RIOrderer,
+    intersect_sorted,
+)
+
+
+def _random_instance(seed: int):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(12, 45))
+    m = int(rng.integers(n, 3 * n))
+    num_labels = int(rng.integers(1, 4))
+    data = erdos_renyi(n, m, num_labels, seed=seed)
+    query = extract_query(data, int(rng.integers(2, 7)), rng)
+    candidates = GQLFilter().filter(query, data)
+    order = RIOrderer().order(query, data, candidates)
+    return query, data, candidates, order
+
+
+def _engines(**kwargs):
+    return (
+        Enumerator(strategy="recursive", **kwargs),
+        Enumerator(strategy="iterative", **kwargs),
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_same_matches_and_enum(self, seed):
+        query, data, candidates, order = _random_instance(seed)
+        recursive, iterative = _engines(match_limit=None, record_matches=True)
+        oracle = recursive.run(query, data, candidates, order)
+        result = iterative.run(query, data, candidates, order)
+        assert result.num_matches == oracle.num_matches
+        assert result.num_enumerations == oracle.num_enumerations
+        # Both engines visit candidates in ascending vertex order, so the
+        # match sequences are identical, not merely equal as sets.
+        assert result.matches == oracle.matches
+        assert result.complete == oracle.complete
+
+    @pytest.mark.parametrize("seed", range(0, 25, 5))
+    def test_same_truncation_under_match_limit(self, seed):
+        query, data, candidates, order = _random_instance(seed)
+        full = Enumerator(strategy="iterative", match_limit=None).run(
+            query, data, candidates, order
+        )
+        if full.num_matches < 2:
+            pytest.skip("needs at least two matches to truncate")
+        limit = max(1, full.num_matches // 2)
+        recursive, iterative = _engines(match_limit=limit, record_matches=True)
+        oracle = recursive.run(query, data, candidates, order)
+        result = iterative.run(query, data, candidates, order)
+        assert result.num_matches == oracle.num_matches == limit
+        assert result.limit_reached and oracle.limit_reached
+        assert result.num_enumerations == oracle.num_enumerations
+        assert result.matches == oracle.matches
+
+    @pytest.mark.parametrize("seed", range(0, 25, 5))
+    def test_same_results_under_arbitrary_orders(self, seed):
+        query, data, candidates, _ = _random_instance(seed)
+        rng = np.random.default_rng(seed + 1000)
+        for _ in range(3):
+            order = [int(u) for u in rng.permutation(query.num_vertices)]
+            recursive, iterative = _engines(match_limit=None, record_matches=True)
+            oracle = recursive.run(query, data, candidates, order)
+            result = iterative.run(query, data, candidates, order)
+            assert result.num_matches == oracle.num_matches
+            assert result.num_enumerations == oracle.num_enumerations
+            assert result.matches == oracle.matches
+
+    def test_matches_recursive_candidate_space_variant(self):
+        query, data, candidates, order = _random_instance(3)
+        indexed = Enumerator(
+            strategy="recursive", match_limit=None,
+            record_matches=True, use_candidate_space=True,
+        ).run(query, data, candidates, order)
+        result = Enumerator(
+            strategy="iterative", match_limit=None, record_matches=True
+        ).run(query, data, candidates, order)
+        # The recursive index path iterates frozensets, so only the match
+        # *sets* (and #enum) are comparable, not the sequences.
+        assert set(result.matches) == set(indexed.matches)
+        assert result.num_enumerations == indexed.num_enumerations
+
+
+class TestDeepQueries:
+    def _deep_path(self):
+        n = 2 * sys.getrecursionlimit()
+        labels = list(range(n))
+        path = Graph(labels, [(i, i + 1) for i in range(n - 1)])
+        candidates = CandidateSets([[i] for i in range(n)])
+        return path, candidates, list(range(n))
+
+    def test_iterative_engine_survives_deep_path(self):
+        path, candidates, order = self._deep_path()
+        result = Enumerator(strategy="iterative", match_limit=None).run(
+            path, path, candidates, order
+        )
+        assert result.num_matches == 1
+        # 1 root step + one extension per query vertex.
+        assert result.num_enumerations == path.num_vertices + 1
+        assert result.complete
+
+    def test_recursive_oracle_crashes_on_deep_path(self):
+        path, candidates, order = self._deep_path()
+        with pytest.raises(RecursionError):
+            Enumerator(strategy="recursive", match_limit=None).run(
+                path, path, candidates, order
+            )
+
+
+class TestEdgeCases:
+    def test_empty_query_records_only_on_request(self):
+        empty = Graph([], [])
+        data = Graph([0, 0], [(0, 1)])
+        counting = Enumerator().run(empty, data, CandidateSets([]), [])
+        recording = Enumerator(record_matches=True).run(
+            empty, data, CandidateSets([]), []
+        )
+        assert counting.num_matches == recording.num_matches == 1
+        assert counting.matches == ()
+        assert recording.matches == ((),)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(EnumerationError):
+            Enumerator(strategy="vectorized")
+
+    def test_iterative_alias_class(self):
+        query, data, candidates, order = _random_instance(7)
+        alias = IterativeEnumerator(match_limit=None, record_matches=True)
+        assert alias.strategy == "iterative"
+        direct = Enumerator(
+            strategy="iterative", match_limit=None, record_matches=True
+        )
+        via_alias = alias.run(query, data, candidates, order)
+        via_default = direct.run(query, data, candidates, order)
+        assert via_alias.matches == via_default.matches
+        assert via_alias.num_enumerations == via_default.num_enumerations
+
+    def test_default_time_limit_is_paper_cap(self):
+        from repro.matching import DEFAULT_TIME_LIMIT
+
+        assert Enumerator().time_limit == DEFAULT_TIME_LIMIT == 500.0
+
+    def test_space_cache_reused_across_runs(self):
+        query, data, candidates, order = _random_instance(11)
+        enumerator = Enumerator(strategy="iterative", match_limit=None)
+        first = enumerator.run(query, data, candidates, order)
+        space = enumerator._candidate_space(query, data, candidates)
+        again = enumerator._candidate_space(query, data, candidates)
+        assert space is again
+        second = enumerator.run(query, data, candidates, order)
+        assert first.num_enumerations == second.num_enumerations
+
+
+class TestIntersectSorted:
+    def test_matches_numpy_semantics(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = np.unique(rng.integers(0, 200, size=rng.integers(0, 60)))
+            b = np.unique(rng.integers(0, 200, size=rng.integers(0, 60)))
+            expected = np.intersect1d(a, b)
+            np.testing.assert_array_equal(intersect_sorted(a, b), expected)
+
+    def test_galloping_path(self):
+        a = np.array([3, 50, 999], dtype=np.int64)
+        b = np.arange(0, 1000, dtype=np.int64)
+        np.testing.assert_array_equal(
+            intersect_sorted(a, b), np.array([3, 50, 999], dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            intersect_sorted(b, a), np.array([3, 50, 999], dtype=np.int64)
+        )
+
+    def test_empty_inputs(self):
+        empty = np.empty(0, dtype=np.int64)
+        other = np.array([1, 2], dtype=np.int64)
+        assert intersect_sorted(empty, other).size == 0
+        assert intersect_sorted(other, empty).size == 0
