@@ -1,13 +1,21 @@
-"""Micro-benchmark: recursive vs iterative enumeration throughput.
+"""Micro-benchmark: enumeration throughput + CSR construction/filtering.
 
-Runs both engines over the same query workloads and prints per-workload
-``#enum``/second plus the speedup, so future PRs can track the hot path.
+Three sections, all doubling as coarse differential checks (non-zero exit
+on any disagreement), so CI smoke runs fail the build on layout
+regressions:
+
+* recursive vs iterative enumeration over shared ``MatchingContext``s
+  (bit-identical ``#enum``/match counts are the contract);
+* graph construction — the vectorized CSR constructor against a
+  replica of the old per-vertex-object build (Python set churn, one
+  ndarray + frozenset per vertex);
+* LDF/NLF filtering — the vectorized mask implementations against
+  replicas of the old per-vertex Python loops (identical candidate
+  arrays are the contract).
+
 Not collected by pytest (no ``test_`` prefix) — run it directly::
 
     PYTHONPATH=src python benchmarks/bench_enumeration.py [--quick]
-
-Exit code is non-zero if the engines ever disagree on ``#enum`` or the
-match count, so CI doubles as a coarse differential check.
 """
 
 from __future__ import annotations
@@ -15,11 +23,19 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from collections import Counter
 
 import numpy as np
 
-from repro.graphs import Graph, chung_lu, erdos_renyi, extract_query
-from repro.matching import Enumerator, GQLFilter, RIOrderer
+from repro.graphs import Graph, GraphStats, chung_lu, erdos_renyi, extract_query
+from repro.matching import (
+    Enumerator,
+    GQLFilter,
+    LDFFilter,
+    MatchingContext,
+    NLFFilter,
+    RIOrderer,
+)
 
 STRATEGIES = ("recursive", "iterative")
 
@@ -47,7 +63,12 @@ def bench_workload(name: str, data: Graph, count: int, size: int) -> bool:
         if candidates.has_empty():
             continue
         order = RIOrderer().order(query, data, candidates)
-        instances.append((query, candidates, order))
+        # One shared context per instance, exactly like the engine
+        # pipeline: the candidate space is built once, outside the timed
+        # enumeration loop.
+        context = MatchingContext(query, data, candidates)
+        context.ensure_space()
+        instances.append((context, order))
 
     totals: dict[str, tuple[int, int, float]] = {}
     for strategy in STRATEGIES:
@@ -56,8 +77,8 @@ def bench_workload(name: str, data: Graph, count: int, size: int) -> bool:
         )
         enum_total = match_total = 0
         start = time.perf_counter()
-        for query, candidates, order in instances:
-            result = enumerator.run(query, data, candidates, order)
+        for context, order in instances:
+            result = enumerator.run_context(context, order)
             enum_total += result.num_enumerations
             match_total += result.num_matches
         elapsed = time.perf_counter() - start
@@ -98,6 +119,125 @@ def bench_deep_path(quick: bool) -> bool:
     return result.num_matches == 1
 
 
+# ---------------------------------------------------------------------------
+# CSR construction + filter micro-benchmark (vs per-vertex-object baseline)
+# ---------------------------------------------------------------------------
+def _baseline_build(labels, edges) -> list[np.ndarray]:
+    """Replica of the pre-CSR Graph constructor's Python-object build."""
+    n = len(labels)
+    seen: set[tuple[int, int]] = set()
+    for u, v in edges:
+        u, v = int(u), int(v)
+        seen.add((u, v) if u < v else (v, u))
+    neighbor_sets: list[set[int]] = [set() for _ in range(n)]
+    for u, v in seen:
+        neighbor_sets[u].add(v)
+        neighbor_sets[v].add(u)
+    adjacency = []
+    for nbrs in neighbor_sets:
+        arr = np.fromiter(nbrs, dtype=np.int64, count=len(nbrs))
+        arr.sort()
+        adjacency.append(arr)
+    _ = [frozenset(nbrs) for nbrs in neighbor_sets]
+    return adjacency
+
+
+def _baseline_ldf(query: Graph, data: Graph) -> list[list[int]]:
+    """Replica of the pre-vectorization per-vertex LDF loop."""
+    sets = []
+    for u in query.vertices():
+        lab, deg = query.label(u), query.degree(u)
+        sets.append(
+            [int(v) for v in data.vertices_with_label(lab) if data.degree(int(v)) >= deg]
+        )
+    return sets
+
+
+def _baseline_nlf(query: Graph, data: Graph) -> list[list[int]]:
+    """Replica of the pre-vectorization per-candidate Counter NLF loop."""
+    query_nlf = [Counter(query.neighbor_labels(u)) for u in query.vertices()]
+    data_nlf_cache: dict[int, Counter] = {}
+
+    def data_nlf(v: int) -> Counter:
+        cached = data_nlf_cache.get(v)
+        if cached is None:
+            cached = Counter(data.neighbor_labels(v))
+            data_nlf_cache[v] = cached
+        return cached
+
+    sets = []
+    for u in query.vertices():
+        lab, deg = query.label(u), query.degree(u)
+        need = query_nlf[u]
+        survivors = []
+        for v in data.vertices_with_label(lab):
+            v = int(v)
+            if data.degree(v) < deg:
+                continue
+            have = data_nlf(v)
+            if all(have.get(l, 0) >= c for l, c in need.items()):
+                survivors.append(v)
+        sets.append(survivors)
+    return sets
+
+
+def bench_construction_and_filters(quick: bool) -> bool:
+    """Time CSR construction + LDF/NLF against the per-vertex baselines.
+
+    The correctness gate is strict equality of filter outputs; speedups
+    are reported per column so layout regressions show up in CI logs.
+    """
+    n = 3_000 if quick else 10_000
+    data = chung_lu(n, 8.0, 12, seed=11)
+    labels = data.labels.tolist()
+    edges = list(data.edges())
+    rng = np.random.default_rng(17)
+    queries = [extract_query(data, 8, rng) for _ in range(4 if quick else 10)]
+    # One stats object across the workload, like the engine pipeline —
+    # this is what lets NLF's per-label counts amortize across queries.
+    stats = GraphStats(data)
+
+    ok = True
+
+    start = time.perf_counter()
+    _baseline_build(labels, edges)
+    t_old_build = time.perf_counter() - start
+    start = time.perf_counter()
+    rebuilt = Graph(labels, edges)
+    t_new_build = time.perf_counter() - start
+    ok &= rebuilt == data
+    print(
+        f"  graph-construction  |V|={n:,} |E|={len(edges):,}  "
+        f"per-vertex={t_old_build * 1e3:7.1f}ms  csr={t_new_build * 1e3:7.1f}ms  "
+        f"speedup={t_old_build / max(t_new_build, 1e-9):5.2f}x"
+    )
+
+    for name, flt, baseline in (
+        ("ldf-filter", LDFFilter(), _baseline_ldf),
+        ("nlf-filter", NLFFilter(), _baseline_nlf),
+    ):
+        start = time.perf_counter()
+        expected = [baseline(q, data) for q in queries]
+        t_old = time.perf_counter() - start
+        start = time.perf_counter()
+        got = [flt.filter(q, data, stats) for q in queries]
+        t_new = time.perf_counter() - start
+        agree = all(
+            [arr.tolist() for arr in (cs.array(u) for u in range(cs.num_query_vertices))]
+            == ref
+            for cs, ref in zip(got, expected)
+        )
+        if not agree:
+            print(f"  {name}: FILTER DISAGREEMENT with per-vertex baseline")
+        ok &= agree
+        print(
+            f"  {name:<18}  {len(queries)} queries       "
+            f"per-vertex={t_old * 1e3:7.1f}ms  vectorized={t_new * 1e3:7.1f}ms  "
+            f"speedup={t_old / max(t_new, 1e-9):5.2f}x"
+        )
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -107,12 +247,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     print("enumeration micro-benchmark (recursive vs iterative)")
-    ok = True
+    engines_ok = True
     for name, data, count, size in _workloads(args.quick):
-        ok &= bench_workload(name, data, count, size)
-    ok &= bench_deep_path(args.quick)
-    print("engines agree" if ok else "ENGINES DISAGREE")
-    return 0 if ok else 1
+        engines_ok &= bench_workload(name, data, count, size)
+    engines_ok &= bench_deep_path(args.quick)
+    print("construction/filter micro-benchmark (CSR vs per-vertex objects)")
+    layout_ok = bench_construction_and_filters(args.quick)
+    print("engines agree" if engines_ok else "ENGINES DISAGREE")
+    print(
+        "construction/filter layout agrees"
+        if layout_ok
+        else "CONSTRUCTION/FILTER LAYOUT DISAGREES with per-vertex baseline"
+    )
+    return 0 if engines_ok and layout_ok else 1
 
 
 if __name__ == "__main__":

@@ -25,6 +25,11 @@ def test_fig11_enumeration_vs_match_count(benchmark, harness, record):
         series = [payload[label][method] for label in labels]
         assert all(math.isfinite(v) for v in series)
         # Enumeration time must not shrink when the cap grows (tiny jitter
-        # tolerance for near-equal early points).
+        # tolerance for near-equal early points).  Since the CandidateSpace
+        # build moved into the filtering phase, small-cap points measure
+        # only microseconds of pure enumeration — below a few ms they are
+        # scheduler noise, so monotonicity is enforced above that floor.
+        noise_floor = 2e-3
         for lo, hi in zip(series, series[1:]):
-            assert hi >= lo * 0.5
+            if lo > noise_floor or hi > noise_floor:
+                assert hi >= lo * 0.5

@@ -55,7 +55,7 @@ def main() -> None:
         queries, data, stats, match_limit=5_000, time_limit=2.0
     )
     print(f"{'q':>3} | {'|C| min..max':>12} | {'est. cost':>10} | "
-          f"{'#enum (ri/gql/random)':>24} | sensitivity")
+          f"{'#enum (ri/gql/random)':>24} | {'CS space':>9} | sensitivity")
     for i, profile in enumerate(profiles):
         measured = "/".join(
             str(profile.measured_enum.get(k, "-"))
@@ -63,7 +63,13 @@ def main() -> None:
         )
         print(f"{i:>3} | {profile.min_candidates:>5}..{profile.max_candidates:<5} | "
               f"{profile.estimated_cost:10.2e} | {measured:>24} | "
+              f"{profile.candidate_space_bytes / 1024:7.1f}kB | "
               f"{profile.order_sensitivity:5.1f}x")
+
+    total_space = sum(p.candidate_space_bytes for p in profiles)
+    print(f"\nflat CandidateSpace footprint across the workload: "
+          f"{total_space / 1024:.1f} kB (per-edge index, counted once — "
+          "no double-charged frozenset views)")
 
     hardest = max(profiles, key=lambda p: p.order_sensitivity)
     print(f"\nmost order-sensitive query: {hardest.order_sensitivity:.1f}x spread "

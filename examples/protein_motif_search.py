@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Enumerator, GQLFilter, Graph, dataset_stats, load_dataset
+from repro import Enumerator, GQLFilter, Graph, MatchingContext, dataset_stats, load_dataset
 from repro.matching import GQLOrderer, RandomOrderer, RIOrderer, VF2PPOrderer
 
 
@@ -65,9 +65,15 @@ def main() -> None:
         print(f"{motif_name:>16}: |V|={motif.num_vertices} "
               f"|E|={motif.num_edges} candidate sizes={candidates.sizes()}")
         rng = np.random.default_rng(0)
+        # One context per motif: all compared orders reuse one
+        # CandidateSpace build instead of paying it per enumeration.
+        # Built eagerly so the first orderer's printed time is not
+        # inflated by the shared Phase (1) index build.
+        context = MatchingContext(motif, data, candidates, stats)
+        context.ensure_space()
         for name, orderer in orderers.items():
-            order = orderer.order(motif, data, candidates, stats, rng)
-            result = enumerator.run(motif, data, candidates, order)
+            order = orderer.order_context(context, rng)
+            result = enumerator.run_context(context, order)
             status = "" if result.complete else " (truncated)"
             print(f"{'':>16}  {name:>6}: {result.num_matches:>7} matches, "
                   f"#enum={result.num_enumerations:>8}, "

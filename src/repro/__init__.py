@@ -39,6 +39,7 @@ from repro.matching import (
     Enumerator,
     GQLFilter,
     IterativeEnumerator,
+    MatchingContext,
     MatchingEngine,
     MatchResult,
     Orderer,
@@ -58,6 +59,7 @@ __all__ = [
     "GraphStats",
     "IterativeEnumerator",
     "MatchResult",
+    "MatchingContext",
     "MatchingEngine",
     "Orderer",
     "PolicyNetwork",

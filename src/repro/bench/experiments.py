@@ -23,6 +23,7 @@ from repro.bench.reporting import (
 )
 from repro.core.trainer import RLQVOTrainer
 from repro.datasets.registry import DATASETS, dataset_stats, load_dataset
+from repro.matching.context import MatchingContext
 from repro.matching.enumeration import Enumerator
 from repro.matching.filters import GQLFilter
 from repro.matching.ordering import OptimalOrderer, RIOrderer
@@ -264,14 +265,17 @@ def fig6(
             candidates = gql_filter.filter(query, data, stats)
             if candidates.has_empty():
                 continue
+            # One context per query: the optimal sweep, both compared
+            # orders and the measurement runs share one candidate space.
+            context = MatchingContext(query, data, candidates, stats)
             entry = {}
             for name, orderer in (
                 ("opt", optimal),
                 ("rlqvo", rlqvo),
                 ("hybrid", hybrid),
             ):
-                order = orderer.order(query, data, candidates, stats)
-                run = enumerator.run(query, data, candidates, order)
+                order = orderer.order_context(context)
+                run = enumerator.run_context(context, order)
                 entry[name] = {
                     "enum_time": run.elapsed,
                     "num_enumerations": run.num_enumerations,
@@ -558,7 +562,10 @@ def table4(harness: Harness) -> dict:
     payload = {"model_bytes": model_bytes, "datasets": {}}
     for name in DATASETS:
         graph = load_dataset(name)
-        graph_bytes = graph.memory_bytes()
+        # Canonical CSR payload only: the process-cached graph may carry
+        # lazily materialized views from earlier experiments, and Table IV
+        # must not depend on which experiments ran first.
+        graph_bytes = graph.memory_bytes(include_lazy_views=False)
         payload["datasets"][name] = graph_bytes
         rows.append(
             [name, _format_bytes(graph_bytes), _format_bytes(model_bytes)]

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
 from repro.matching.candidates import CandidateFilter
+from repro.matching.context import MatchingContext
 from repro.matching.cost import estimate_order_cost
 from repro.matching.enumeration import Enumerator
 from repro.matching.filters.gql import GQLFilter
@@ -35,6 +36,10 @@ class QueryProfile:
     #: Measured #enum under a few standard orders (keyed by orderer name);
     #: empty when ``measure=False``.
     measured_enum: dict[str, int]
+    #: Footprint of the flat per-edge CandidateSpace index shared by the
+    #: measurement runs (0 when ``measure=False`` — the index is never
+    #: built for estimate-only profiles).
+    candidate_space_bytes: int = 0
 
     @property
     def order_sensitivity(self) -> float:
@@ -75,14 +80,20 @@ def profile_query(
     estimated = estimate_order_cost(query, data, candidates, reference_order)
 
     measured: dict[str, int] = {}
+    space_bytes = 0
     if measure and not candidates.has_empty():
+        # One shared context: the per-edge index is built once and reused
+        # by every measurement run, exactly like the engine pipeline.
+        context = MatchingContext(query, data, candidates, stats)
         enumerator = Enumerator(
             match_limit=match_limit, time_limit=time_limit, strategy=enum_strategy
         )
         for orderer in (RIOrderer(), GQLOrderer(), RandomOrderer(seed=0)):
-            order = orderer.order(query, data, candidates, stats)
-            run = enumerator.run(query, data, candidates, order)
+            order = orderer.order_context(context)
+            run = enumerator.run_context(context, order)
             measured[orderer.name] = run.num_enumerations
+        if context.has_space:
+            space_bytes = context.space.memory_bytes()
 
     return QueryProfile(
         num_vertices=query.num_vertices,
@@ -92,6 +103,7 @@ def profile_query(
         max_candidates=max(sizes) if sizes else 0,
         estimated_cost=estimated,
         measured_enum=measured,
+        candidate_space_bytes=space_bytes,
     )
 
 

@@ -28,7 +28,8 @@ from repro.core.policy import PolicyNetwork
 from repro.errors import TrainingError
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
-from repro.matching.candidates import CandidateFilter, CandidateSets
+from repro.matching.candidates import CandidateFilter
+from repro.matching.context import MatchingContext
 from repro.matching.enumeration import Enumerator
 from repro.matching.filters.gql import GQLFilter
 from repro.matching.ordering.ri import RIOrderer
@@ -120,19 +121,22 @@ class RLQVOTrainer:
             strategy=self.config.enum_strategy,
         )
         # Per-query caches (keyed by object identity; query sets are reused
-        # across epochs).
-        self._candidates: dict[int, CandidateSets] = {}
+        # across epochs).  The MatchingContext carries the candidate sets
+        # and the shared CandidateSpace, so every reward rollout of a query
+        # reuses one per-edge index instead of rebuilding it.
+        self._match_contexts: dict[int, MatchingContext] = {}
         self._baseline_enum: dict[int, int | None] = {}
         self._contexts: dict[int, GraphContext] = {}
 
     # ------------------------------------------------------------------
     # Caches
     # ------------------------------------------------------------------
-    def _prepare(self, query: Graph) -> tuple[CandidateSets, int | None, GraphContext]:
+    def _prepare(self, query: Graph) -> tuple[MatchingContext, int | None, GraphContext]:
         key = id(query)
-        if key not in self._candidates:
+        if key not in self._match_contexts:
             candidates = self.candidate_filter.filter(query, self.data, self.stats)
-            self._candidates[key] = candidates
+            match_ctx = MatchingContext(query, self.data, candidates, self.stats)
+            self._match_contexts[key] = match_ctx
             self._contexts[key] = GraphContext.from_graph(query)
             if candidates.has_empty():
                 self._baseline_enum[key] = 0
@@ -140,13 +144,17 @@ class RLQVOTrainer:
                 base_order = self.baseline_orderer.order(
                     query, self.data, candidates, self.stats
                 )
-                base = self._enumerator.run(query, self.data, candidates, base_order)
+                base = self._enumerator.run_context(match_ctx, base_order)
                 # A timed-out baseline makes Δ#enum meaningless; mark the
-                # query as unusable for reward computation.
-                self._baseline_enum[key] = (
-                    base.num_enumerations if not base.timed_out else None
-                )
-        return self._candidates[key], self._baseline_enum[key], self._contexts[key]
+                # query as unusable for reward computation and drop the
+                # space the baseline run built — no rollout will ever
+                # reach this query's release point.
+                if base.timed_out:
+                    self._baseline_enum[key] = None
+                    match_ctx.release_space()
+                else:
+                    self._baseline_enum[key] = base.num_enumerations
+        return self._match_contexts[key], self._baseline_enum[key], self._contexts[key]
 
     # ------------------------------------------------------------------
     # Training
@@ -176,8 +184,8 @@ class RLQVOTrainer:
             skipped = 0
 
             for query in queries:
-                candidates, baseline, ctx = self._prepare(query)
-                if baseline is None or candidates.has_empty():
+                match_ctx, baseline, ctx = self._prepare(query)
+                if baseline is None or match_ctx.candidates.has_empty():
                     skipped += 1
                     continue
                 used_any = False
@@ -185,9 +193,7 @@ class RLQVOTrainer:
                     trajectory = collect_trajectory(
                         sampling_policy, query, self.feature_builder, self._rng, ctx
                     )
-                    run = self._enumerator.run(
-                        query, self.data, candidates, trajectory.order
-                    )
+                    run = self._enumerator.run_context(match_ctx, trajectory.order)
                     if run.timed_out:
                         continue  # Sec. IV-A: skip over-limit rollouts
                     used_any = True
@@ -210,6 +216,12 @@ class RLQVOTrainer:
                     enum_rewards.append(renum)
                     enum_learned_all.append(run.num_enumerations)
                     enum_base_all.append(baseline)
+                # The per-query context is cached for the whole training
+                # run, but its candidate space (dense position maps + flat
+                # buffers) is only needed while this query's rollouts run:
+                # release it so at most one instance's space is resident,
+                # like the old bounded enumerator cache.
+                match_ctx.release_space()
                 if not used_any:
                     skipped += 1
 
@@ -253,12 +265,13 @@ class RLQVOTrainer:
         orderer = self.make_orderer()
         total = 0
         for query in queries:
-            candidates, baseline, _ = self._prepare(query)
-            if baseline is None or candidates.has_empty():
+            match_ctx, baseline, _ = self._prepare(query)
+            if baseline is None or match_ctx.candidates.has_empty():
                 continue
-            order = orderer.order(query, self.data, candidates, self.stats)
-            run = self._enumerator.run(query, self.data, candidates, order)
+            order = orderer.order_context(match_ctx)
+            run = self._enumerator.run_context(match_ctx, order)
             total += run.num_enumerations
+            match_ctx.release_space()
         self.policy.train()  # make_orderer switched the policy to eval
         return total
 

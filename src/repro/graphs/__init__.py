@@ -2,7 +2,7 @@
 
 from repro.graphs.canonical import deduplicate_queries, wl_hash
 from repro.graphs.generators import chung_lu, connect_components, erdos_renyi, random_tree, zipf_labels
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, edges_to_csr
 from repro.graphs.io import dumps_graph, load_graph, loads_graph, save_graph
 from repro.graphs.query_gen import extract_query, generate_query_set
 from repro.graphs.stats import GraphStats, degree_histogram, label_histogram
@@ -18,6 +18,7 @@ __all__ = [
     "deduplicate_queries",
     "degree_histogram",
     "dumps_graph",
+    "edges_to_csr",
     "erdos_renyi",
     "extract_query",
     "generate_query_set",

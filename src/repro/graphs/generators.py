@@ -22,7 +22,7 @@ import math
 import numpy as np
 
 from repro.errors import InvalidGraphError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, edges_to_csr
 
 __all__ = [
     "zipf_labels",
@@ -82,7 +82,19 @@ def erdos_renyi(
             if len(edges) == num_edges:
                 break
     labels = zipf_labels(n, num_labels, label_skew, rng)
-    return Graph(labels, edges)
+    return _graph_from_edge_set(n, labels, edges)
+
+
+def _graph_from_edge_set(
+    n: int, labels: np.ndarray, edges: set[tuple[int, int]] | list[tuple[int, int]]
+) -> Graph:
+    """Canonicalize freshly generated edges once and wrap the CSR buffers.
+
+    Equivalent to ``Graph(labels, edges)`` — :func:`edges_to_csr` is the
+    single validation/canonicalization pass either way — written via the
+    :meth:`Graph.from_csr` entry point the generators share with IO.
+    """
+    return Graph.from_csr(labels, *edges_to_csr(n, edges))
 
 
 def powerlaw_degree_weights(n: int, avg_degree: float, exponent: float) -> np.ndarray:
@@ -146,7 +158,7 @@ def chung_lu(
             if j < n:
                 p = min(1.0, wi * w[j] / total)
     labels = zipf_labels(n, num_labels, label_skew, rng)
-    return Graph(labels, edges)
+    return _graph_from_edge_set(n, labels, edges)
 
 
 def random_tree(n: int, num_labels: int, *, seed: int | None = None) -> Graph:
@@ -154,7 +166,7 @@ def random_tree(n: int, num_labels: int, *, seed: int | None = None) -> Graph:
     rng = np.random.default_rng(seed)
     edges = [(int(rng.integers(0, v)), v) for v in range(1, n)]
     labels = zipf_labels(n, num_labels, 0.5, rng)
-    return Graph(labels, edges)
+    return _graph_from_edge_set(n, labels, edges)
 
 
 def connect_components(graph: Graph, rng: np.random.Generator) -> Graph:
@@ -186,4 +198,4 @@ def connect_components(graph: Graph, rng: np.random.Generator) -> Graph:
         return graph
     reps = [int(np.flatnonzero(comp == c)[rng.integers(0, (comp == c).sum())]) for c in range(n_comp)]
     extra = [(reps[i - 1], reps[i]) for i in range(1, n_comp)]
-    return Graph(graph.labels, list(graph.edges()) + extra)
+    return _graph_from_edge_set(n, graph.labels, list(graph.edges()) + extra)

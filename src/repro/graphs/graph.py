@@ -9,32 +9,103 @@ dominate subgraph matching:
 * label-indexed vertex lookup (``vertices with label l``).
 
 Vertices are dense integers ``0..n-1``; labels are small non-negative
-integers.  Adjacency is stored twice: as sorted ``numpy`` arrays (cheap
-iteration, set intersections via ``np.intersect1d``) and as Python sets
-(O(1) membership tests inside the hot enumeration loop).
+integers.  Adjacency is stored as a single contiguous CSR pair
+``(indptr, indices)`` of int64 arrays — the canonical representation the
+whole matching stack (filters, :class:`CandidateSpace`, the iterative
+enumerator) consumes.  Per-vertex neighbour lists are zero-copy slices of
+``indices``; the frozenset views used by the recursive oracle engine's
+O(1) membership tests are derived lazily, per vertex, on first access, so
+pipelines that never touch the recursive paths never pay for the Python
+object churn.
+
+Construction is vectorized: edges are normalized and de-duplicated with
+one ``np.unique`` over an encoded edge-key array instead of Python set
+churn, and :meth:`Graph.from_csr` offers a trusted fast path for callers
+(IO, generators) that already hold canonical CSR buffers.
 """
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import InvalidGraphError
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "edges_to_csr"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+
+def _edge_array(edges: Iterable[tuple[int, int]] | np.ndarray) -> np.ndarray:
+    """Coerce an edge collection into an ``(m, 2)`` int64 array."""
+    if isinstance(edges, np.ndarray):
+        arr = np.asarray(edges, dtype=np.int64)
+    else:
+        pairs = list(edges)
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise InvalidGraphError("edges must be (u, v) pairs")
+    return arr
+
+
+def edges_to_csr(
+    num_vertices: int, edges: Iterable[tuple[int, int]] | np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalize edges into CSR ``(indptr, indices)``.
+
+    Duplicates and orientation are normalized away with one ``np.unique``
+    over encoded edge keys; self loops and out-of-range endpoints raise
+    :class:`InvalidGraphError`.  The result is the canonical symmetric
+    CSR adjacency (per-vertex neighbour lists sorted ascending) accepted
+    by :meth:`Graph.from_csr`.
+    """
+    n = int(num_vertices)
+    arr = _edge_array(edges)
+    u, v = arr[:, 0], arr[:, 1]
+    if arr.shape[0]:
+        loops = u == v
+        if loops.any():
+            raise InvalidGraphError(
+                f"self loop on vertex {int(u[int(np.argmax(loops))])}"
+            )
+        bad = (u < 0) | (u >= n) | (v < 0) | (v >= n)
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise InvalidGraphError(
+                f"edge ({int(u[i])}, {int(v[i])}) out of range for n={n}"
+            )
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    # One sorted-unique pass over encoded keys replaces the Python set.
+    keys = np.unique(lo * n + hi)
+    edge_u = keys // n
+    edge_v = keys % n
+    directed = np.concatenate([keys, edge_v * n + edge_u])
+    directed.sort()
+    indices = directed % n
+    counts = np.bincount(directed // n, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, indices
 
 
 class Graph:
-    """An immutable undirected vertex-labeled graph.
+    """An immutable undirected vertex-labeled graph over CSR storage.
 
     Parameters
     ----------
     labels:
         Sequence of per-vertex integer labels; its length defines ``n``.
     edges:
-        Iterable of ``(u, v)`` pairs.  Duplicates and orientation are
-        normalized away; self loops are rejected.
+        Iterable of ``(u, v)`` pairs (or an ``(m, 2)`` array).  Duplicates
+        and orientation are normalized away; self loops are rejected.
 
     Examples
     --------
@@ -47,61 +118,79 @@ class Graph:
 
     __slots__ = (
         "_labels",
-        "_adjacency",
-        "_neighbor_sets",
+        "_indptr",
+        "_indices",
         "_num_edges",
         "_label_index",
         "_degrees",
+        "_neighbor_sets",
         "_edge_list",
     )
 
     def __init__(self, labels: Sequence[int], edges: Iterable[tuple[int, int]]):
         labels_arr = np.asarray(labels, dtype=np.int64)
+        indptr, indices = edges_to_csr(int(labels_arr.size), edges)
+        self._init_from_csr(labels_arr, indptr, indices)
+
+    @classmethod
+    def from_csr(
+        cls,
+        labels: Sequence[int] | np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ) -> "Graph":
+        """Trusted fast path: wrap canonical CSR buffers without validation.
+
+        ``(indptr, indices)`` must be a symmetric adjacency with sorted,
+        duplicate-free neighbour lists and no self loops — exactly what
+        :func:`edges_to_csr` produces.  IO and the random generators use
+        this to skip re-validation of edges they just canonicalized.
+
+        Ownership of the buffers transfers to the graph: when they are
+        already int64 they are wrapped (not copied) and frozen read-only
+        in place.  Pass copies if the caller needs to keep mutating them.
+        """
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        indptr_arr = np.asarray(indptr, dtype=np.int64)
+        indices_arr = np.asarray(indices, dtype=np.int64)
+        if indptr_arr.size != labels_arr.size + 1:
+            raise InvalidGraphError(
+                f"indptr has {indptr_arr.size} entries for n={labels_arr.size}"
+            )
+        self = cls.__new__(cls)
+        self._init_from_csr(labels_arr, indptr_arr, indices_arr)
+        return self
+
+    def _init_from_csr(
+        self, labels_arr: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+    ) -> None:
         if labels_arr.ndim != 1:
             raise InvalidGraphError("labels must be a 1-D sequence")
         if labels_arr.size and labels_arr.min() < 0:
             raise InvalidGraphError("labels must be non-negative integers")
-        n = int(labels_arr.size)
-
-        seen: set[tuple[int, int]] = set()
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if u == v:
-                raise InvalidGraphError(f"self loop on vertex {u}")
-            if not (0 <= u < n and 0 <= v < n):
-                raise InvalidGraphError(f"edge ({u}, {v}) out of range for n={n}")
-            seen.add((u, v) if u < v else (v, u))
-
-        neighbor_sets: list[set[int]] = [set() for _ in range(n)]
-        for u, v in seen:
-            neighbor_sets[u].add(v)
-            neighbor_sets[v].add(u)
-
+        labels_arr.setflags(write=False)
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
         self._labels = labels_arr
-        self._labels.setflags(write=False)
-        self._adjacency: list[np.ndarray] = []
-        for nbrs in neighbor_sets:
-            arr = np.fromiter(nbrs, dtype=np.int64, count=len(nbrs))
-            arr.sort()
-            arr.setflags(write=False)
-            self._adjacency.append(arr)
-        self._neighbor_sets: list[frozenset[int]] = [
-            frozenset(nbrs) for nbrs in neighbor_sets
-        ]
-        self._num_edges = len(seen)
-        self._edge_list: tuple[tuple[int, int], ...] = tuple(sorted(seen))
-
-        self._degrees = np.array([len(s) for s in neighbor_sets], dtype=np.int64)
+        self._indptr = indptr
+        self._indices = indices
+        self._num_edges = int(indices.size) // 2
+        self._degrees = np.diff(indptr)
         self._degrees.setflags(write=False)
+        # Lazy views: frozenset neighbourhoods (recursive-engine membership
+        # tests) and the tuple-of-tuples edge list.
+        self._neighbor_sets: list[frozenset[int] | None] | None = None
+        self._edge_list: tuple[tuple[int, int], ...] | None = None
 
-        label_index: dict[int, list[int]] = {}
-        for v, lab in enumerate(labels_arr.tolist()):
-            label_index.setdefault(lab, []).append(v)
+        by_label = np.argsort(labels_arr, kind="stable")
+        by_label.setflags(write=False)
+        sorted_labels = labels_arr[by_label]
+        uniq, starts = np.unique(sorted_labels, return_index=True)
+        bounds = np.append(starts, labels_arr.size)
         self._label_index: dict[int, np.ndarray] = {
-            lab: np.asarray(vs, dtype=np.int64) for lab, vs in label_index.items()
+            int(lab): by_label[int(s) : int(e)]
+            for lab, s, e in zip(uniq.tolist(), bounds[:-1], bounds[1:])
         }
-        for arr in self._label_index.values():
-            arr.setflags(write=False)
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -125,6 +214,21 @@ class Graph:
     def degrees(self) -> np.ndarray:
         """Read-only array of vertex degrees."""
         return self._degrees
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array (read-only, length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array (read-only, length ``2|E|``)."""
+        return self._indices
+
+    @property
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The canonical ``(indptr, indices)`` adjacency pair."""
+        return self._indptr, self._indices
 
     @property
     def num_labels(self) -> int:
@@ -157,16 +261,31 @@ class Graph:
         return int(self._degrees[v])
 
     def neighbors(self, v: int) -> np.ndarray:
-        """Sorted array of neighbours ``N(v)``."""
-        return self._adjacency[v]
+        """Sorted neighbours ``N(v)`` as a zero-copy CSR slice."""
+        if not 0 <= v < self._degrees.size:
+            raise IndexError(f"vertex {v} out of range")
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
 
     def neighbor_set(self, v: int) -> frozenset[int]:
-        """Neighbours of ``v`` as a frozenset (O(1) membership)."""
-        return self._neighbor_sets[v]
+        """Neighbours of ``v`` as a frozenset (O(1) membership).
+
+        Materialized lazily, one vertex at a time: only the recursive
+        oracle engine and a few heuristics take this path, so CSR-only
+        pipelines never build the sets.
+        """
+        sets = self._neighbor_sets
+        if sets is None:
+            sets = self._neighbor_sets = [None] * self.num_vertices
+        s = sets[v]
+        if s is None:
+            s = sets[v] = frozenset(self.neighbors(v).tolist())
+        return s
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``e(u, v)`` exists."""
-        return v in self._neighbor_sets[u]
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.size and int(row[i]) == v
 
     def vertices(self) -> range:
         """Iterable over all vertex ids."""
@@ -174,7 +293,16 @@ class Graph:
 
     def edges(self) -> tuple[tuple[int, int], ...]:
         """All edges as sorted ``(u, v)`` pairs with ``u < v``."""
+        if self._edge_list is None:
+            eu, ev = self._edge_pairs()
+            self._edge_list = tuple(zip(eu.tolist(), ev.tolist()))
         return self._edge_list
+
+    def _edge_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical ``u < v`` edge endpoints derived from the CSR arrays."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self._degrees)
+        mask = src < self._indices
+        return src[mask], self._indices[mask]
 
     def vertices_with_label(self, lab: int) -> np.ndarray:
         """Sorted vertex ids having label ``lab`` (empty array if none)."""
@@ -190,7 +318,7 @@ class Graph:
 
     def neighbor_labels(self, v: int) -> list[int]:
         """Sorted multiset of labels of ``N(v)`` (used by GQL profiles)."""
-        return sorted(int(self._labels[u]) for u in self._adjacency[v])
+        return sorted(self._labels[self.neighbors(v)].tolist())
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -204,30 +332,31 @@ class Graph:
         vlist = [int(v) for v in vertices]
         if len(set(vlist)) != len(vlist):
             raise InvalidGraphError("induced_subgraph: duplicate vertices")
+        new_id = np.full(self.num_vertices, -1, dtype=np.int64)
+        new_id[vlist] = np.arange(len(vlist), dtype=np.int64)
+        eu, ev = self._edge_pairs()
+        keep = (new_id[eu] >= 0) & (new_id[ev] >= 0) if eu.size else np.empty(0, bool)
+        sub_edges = np.stack([new_id[eu[keep]], new_id[ev[keep]]], axis=1) if eu.size else []
         mapping = {old: new for new, old in enumerate(vlist)}
-        sub_labels = [self.label(v) for v in vlist]
-        sub_edges = [
-            (mapping[u], mapping[v])
-            for u, v in self._edge_list
-            if u in mapping and v in mapping
-        ]
-        return Graph(sub_labels, sub_edges), mapping
+        return Graph(self._labels[vlist], sub_edges), mapping
 
     def is_connected(self) -> bool:
         """Whether the graph is connected (the empty graph counts as connected)."""
         n = self.num_vertices
         if n <= 1:
             return True
-        seen = {0}
+        seen = np.zeros(n, dtype=bool)
+        seen[0] = True
+        count = 1
         stack = [0]
         while stack:
             u = stack.pop()
-            for v in self._adjacency[u]:
-                v = int(v)
-                if v not in seen:
-                    seen.add(v)
+            for v in self.neighbors(u).tolist():
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
                     stack.append(v)
-        return len(seen) == n
+        return count == n
 
     def normalized_adjacency(self) -> np.ndarray:
         """Dense GCN propagation matrix ``D^-1/2 (A + I) D^-1/2`` (Eq. 3).
@@ -241,9 +370,9 @@ class Graph:
                 f"normalized_adjacency is dense-only (n={n} > 4096)"
             )
         a_tilde = np.eye(n)
-        for u, v in self._edge_list:
-            a_tilde[u, v] = 1.0
-            a_tilde[v, u] = 1.0
+        if self._indices.size:
+            src = np.repeat(np.arange(n, dtype=np.int64), self._degrees)
+            a_tilde[src, self._indices] = 1.0
         inv_sqrt = 1.0 / np.sqrt(a_tilde.sum(axis=1))
         return a_tilde * inv_sqrt[:, None] * inv_sqrt[None, :]
 
@@ -259,13 +388,17 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
+        # The CSR pair is canonical, so it fully determines the edge set.
         return (
             np.array_equal(self._labels, other._labels)
-            and self._edge_list == other._edge_list
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
         )
 
     def __hash__(self) -> int:
-        return hash((self._labels.tobytes(), self._edge_list))
+        return hash(
+            (self._labels.tobytes(), self._indptr.tobytes(), self._indices.tobytes())
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -273,13 +406,31 @@ class Graph:
             f"|L|={self.num_labels})"
         )
 
-    def memory_bytes(self) -> int:
-        """Approximate in-memory footprint of the graph payload (Table IV)."""
-        total = self._labels.nbytes + self._degrees.nbytes
-        total += sum(arr.nbytes for arr in self._adjacency)
+    def memory_bytes(self, include_lazy_views: bool = True) -> int:
+        """In-memory footprint of the graph payload (Table IV).
+
+        Counts the canonical CSR buffers, labels/degrees, the label index,
+        and — honestly — every lazily materialized view (frozenset
+        neighbourhoods, the edge-list tuple) currently alive.  Pass
+        ``include_lazy_views=False`` for the deterministic canonical
+        payload alone (what space reports use, since the resident views
+        depend on which consumers touched the graph first).
+        """
+        total = (
+            self._labels.nbytes
+            + self._degrees.nbytes
+            + self._indptr.nbytes
+            + self._indices.nbytes
+        )
         total += sum(arr.nbytes for arr in self._label_index.values())
+        if not include_lazy_views:
+            return total
+        if self._neighbor_sets is not None:
+            total += sys.getsizeof(self._neighbor_sets)
+            total += sum(
+                sys.getsizeof(s) for s in self._neighbor_sets if s is not None
+            )
+        if self._edge_list is not None:
+            total += sys.getsizeof(self._edge_list)
+            total += sum(sys.getsizeof(pair) for pair in self._edge_list)
         return total
-
-
-_EMPTY = np.empty(0, dtype=np.int64)
-_EMPTY.setflags(write=False)

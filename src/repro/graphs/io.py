@@ -20,7 +20,7 @@ import os
 from pathlib import Path
 
 from repro.errors import GraphFormatError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, edges_to_csr
 
 __all__ = ["load_graph", "loads_graph", "save_graph", "dumps_graph"]
 
@@ -71,7 +71,11 @@ def loads_graph(text: str) -> Graph:
             f"header declares {m_decl} edges but {len(edges)} 'e' lines found"
         )
 
-    graph = Graph([labels[v] for v in range(n_decl)], edges)
+    # Vectorized canonicalization straight into the trusted CSR entry
+    # point (equivalent to Graph(labels, edges), stated explicitly: the
+    # parsed edge list is validated exactly once, by edges_to_csr).
+    indptr, indices = edges_to_csr(n_decl, edges)
+    graph = Graph.from_csr([labels[v] for v in range(n_decl)], indptr, indices)
     for vid, deg in declared_degrees.items():
         if graph.degree(vid) != deg:
             raise GraphFormatError(

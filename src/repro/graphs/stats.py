@@ -9,6 +9,7 @@ precomputes them once per data graph.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from functools import cached_property
 
 import numpy as np
@@ -16,6 +17,10 @@ import numpy as np
 from repro.graphs.graph import Graph
 
 __all__ = ["GraphStats", "degree_histogram", "label_histogram"]
+
+#: Upper bound on cached per-label neighbour-count arrays (each is one
+#: int32 per data vertex; stats objects are process-lifetime).
+_LABEL_COUNT_CACHE_SIZE = 64
 
 
 def degree_histogram(graph: Graph) -> dict[int, int]:
@@ -84,6 +89,42 @@ class GraphStats:
     @cached_property
     def _edge_label_cache(self) -> dict[tuple[int, int], int]:
         return {}
+
+    @cached_property
+    def _neighbor_label_count_cache(self) -> "OrderedDict[int, np.ndarray]":
+        return OrderedDict()
+
+    def neighbor_label_counts(self, lab: int) -> np.ndarray:
+        """Per-vertex count of ``lab``-labeled neighbours, cached per label.
+
+        The NLF filter's per-label rule reads this; caching here means one
+        ``np.bincount`` over the CSR arrays per (data graph, label), shared
+        across every query filtered against the same :class:`GraphStats`.
+        Counts are stored as int32 (bounded by the max degree) and the
+        cache holds at most :data:`_LABEL_COUNT_CACHE_SIZE` labels — stats
+        objects live for the whole process, so per-label arrays on a
+        many-labeled custom dataset must not accrete without bound.
+        """
+        lab = int(lab)
+        cache = self._neighbor_label_count_cache
+        counts = cache.get(lab)
+        if counts is None:
+            # The edge-slot source/label arrays are derived transiently per
+            # miss (same O(2|E|) order as the bincount itself) rather than
+            # cached: stats objects are process-lifetime and two resident
+            # 2|E| arrays would dwarf the bounded count cache they feed.
+            g = self.graph
+            src = np.repeat(np.arange(g.num_vertices, dtype=np.int64), g.degrees)
+            mask = g.labels[g.indices] == lab
+            counts = np.bincount(
+                src[mask], minlength=g.num_vertices
+            ).astype(np.int32, copy=False)
+            cache[lab] = counts
+            if len(cache) > _LABEL_COUNT_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(lab)
+        return counts
 
     @cached_property
     def profiles(self) -> list[tuple[int, ...]]:

@@ -30,7 +30,9 @@ def check_graph(graph: Graph) -> None:
                 raise InvalidGraphError(f"neighbour {u} of {v} out of range")
             if u == v:
                 raise InvalidGraphError(f"self loop at {v}")
-            if v not in graph.neighbor_set(u):
+            # has_edge runs on the CSR arrays, so validating a graph does
+            # not force-materialize its lazy frozenset neighbourhoods.
+            if not graph.has_edge(u, v):
                 raise InvalidGraphError(f"asymmetric edge ({v}, {u})")
         seen_edges += nbrs.size
     if seen_edges != 2 * graph.num_edges:

@@ -1,4 +1,4 @@
-"""Candidate-space auxiliary structure (CECI / DP-iso style).
+"""Candidate-space auxiliary structure (CECI / DP-iso style), CSR-flat.
 
 CECI [19] and DP-iso [12] do not enumerate over raw candidate sets: they
 precompute, for every query edge ``(u, u')`` and every candidate
@@ -6,24 +6,26 @@ precompute, for every query edge ``(u, u')`` and every candidate
 local-candidate computation then becomes a lookup plus (small) set
 intersections instead of scans over full data-graph neighbourhoods.
 
-:class:`CandidateSpace` is that index.  Building it costs
-``O(Σ_(u,u') Σ_{v∈C(u)} d(v))`` once per query; the paper's framework
-treats it as part of Phase (1).  :meth:`CandidateSpace.local_candidates`
-is the drop-in replacement for Line 6 of Algorithm 2, and
-``Enumerator(use_candidate_space=True)`` (see
-:mod:`repro.matching.enumeration`) uses it transparently — the match set
-and ``#enum`` are unchanged, only the per-call constant drops.
+:class:`CandidateSpace` is that index, laid out as one flat buffer per
+edge direction instead of a dict of per-vertex arrays: direction
+``(u, u')`` stores ``(offsets, concat_indices)`` where the adjacency list
+of the ``p``-th candidate of ``u`` is
+``concat_indices[offsets[p]:offsets[p+1]]``, plus a shared dense
+``vertex -> position in C(u)`` map per query vertex.  A per-edge lookup
+is therefore two array indexings — no dict probes, no millions of tiny
+ndarray objects on real data graphs.
 
-Per-edge adjacency lists are built as sorted int64 arrays
-(:meth:`CandidateSpace.edge_arrays`), which the iterative engine
-(:mod:`repro.matching.enumeration_iter`) folds with vectorised
-sorted-array intersections.  The frozenset view used by the recursive
-engine's membership tests is derived lazily, one edge direction at a
-time, on first access — a build that only ever feeds the iterative
-engine never pays for it.
+Building the index is fully vectorized over the data graph's CSR arrays:
+the neighbourhoods of all candidates are gathered in one shot and
+filtered against ``C(u')`` with a single ``searchsorted`` membership
+test.  The frozenset views used by the recursive engine's membership
+tests are derived lazily, one edge direction at a time, on first access —
+a build that only ever feeds the iterative engine never pays for them.
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -39,7 +41,7 @@ _EMPTY_ARRAY.setflags(write=False)
 
 
 class CandidateSpace:
-    """Per-query-edge candidate adjacency index.
+    """Per-query-edge candidate adjacency index over flat buffers.
 
     Parameters
     ----------
@@ -49,69 +51,137 @@ class CandidateSpace:
         Complete candidate sets from any filter.
     """
 
+    __slots__ = ("query", "data", "candidates", "_positions", "_flat", "_set_views")
+
     def __init__(self, query: Graph, data: Graph, candidates: CandidateSets):
         if candidates.num_query_vertices != query.num_vertices:
             raise FilterError("candidate sets do not cover the query")
         self.query = query
         self.data = data
         self.candidates = candidates
-        # _edge_arrays[(u, u_prime)][v] = sorted array of N(v) ∩ C(u_prime)
-        # for v in C(u); _edges holds the frozenset view of the same lists,
-        # derived lazily per direction on first set-based access.
-        self._edges: dict[tuple[int, int], dict[int, frozenset[int]]] = {}
-        self._edge_arrays: dict[tuple[int, int], dict[int, np.ndarray]] = {}
+        #: query vertex u -> dense int64 map: data vertex -> position in
+        #: C(u) (-1 when absent); shared across all directions leaving u.
+        self._positions: dict[int, np.ndarray] = {}
+        #: (u, u') -> (offsets, concat_indices) flat adjacency buffers.
+        self._flat: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        #: Lazily derived frozenset views, one direction at a time.
+        self._set_views: dict[tuple[int, int], dict[int, frozenset[int]]] = {}
+        indptr, indices = data.csr
         for u, u_prime in query.edges():
-            self._edge_arrays[(u, u_prime)] = self._build_direction(u, u_prime)
-            self._edge_arrays[(u_prime, u)] = self._build_direction(u_prime, u)
+            self._flat[(u, u_prime)] = self._build_direction(
+                u, u_prime, indptr, indices
+            )
+            self._flat[(u_prime, u)] = self._build_direction(
+                u_prime, u, indptr, indices
+            )
+        # Dense position maps are part of the index: build them with it,
+        # so the whole CandidateSpace cost lands in Phase (1) and the
+        # first timed enumeration pays nothing extra.
+        for u in query.vertices():
+            if query.degree(u):
+                self._position_map(u)
 
-    def _build_direction(self, u: int, u_prime: int) -> dict[int, np.ndarray]:
-        target = self.candidates.get(u_prime)
-        arrays: dict[int, np.ndarray] = {}
-        for v in self.candidates.get(u):
-            # data.neighbors(v) is sorted, so the filtered list stays sorted.
-            adjacent = [int(w) for w in self.data.neighbors(v) if int(w) in target]
-            arr = np.asarray(adjacent, dtype=np.int64)
-            arr.setflags(write=False)
-            arrays[v] = arr
-        return arrays
+    def _build_direction(
+        self, u: int, u_prime: int, indptr: np.ndarray, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``N(v) ∩ C(u')`` lists for all ``v ∈ C(u)``, vectorized."""
+        source = self.candidates.array(u)
+        target = self.candidates.array(u_prime)
+        degs = indptr[source + 1] - indptr[source] if source.size else _EMPTY_ARRAY
+        total = int(degs.sum()) if source.size else 0
+        if total == 0 or target.size == 0:
+            offsets = np.zeros(source.size + 1, dtype=np.int64)
+            concat = _EMPTY_ARRAY
+        else:
+            # Gather the concatenated neighbourhoods of every candidate:
+            # for segment p the positions indptr[v_p] .. indptr[v_p]+d(v_p).
+            seg_starts = np.cumsum(degs) - degs
+            flat_pos = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(seg_starts, degs)
+                + np.repeat(indptr[source], degs)
+            )
+            nbrs = indices[flat_pos]
+            # Membership of each neighbour in the sorted C(u') array.
+            loc = np.searchsorted(target, nbrs)
+            mask = target[np.minimum(loc, target.size - 1)] == nbrs
+            seg_ids = np.repeat(np.arange(source.size, dtype=np.int64), degs)
+            counts = np.bincount(seg_ids[mask], minlength=source.size)
+            offsets = np.zeros(source.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            concat = nbrs[mask]
+            concat.setflags(write=False)
+        offsets.setflags(write=False)
+        return offsets, concat
 
-    def _sets_for(
-        self, key: tuple[int, int]
-    ) -> dict[int, frozenset[int]] | None:
-        """Frozenset view of one edge direction (built on first use)."""
-        sets = self._edges.get(key)
-        if sets is None:
-            arrays = self._edge_arrays.get(key)
-            if arrays is None:
-                return None
-            sets = {v: frozenset(arr.tolist()) for v, arr in arrays.items()}
-            self._edges[key] = sets
-        return sets
+    def _position_map(self, u: int) -> np.ndarray:
+        """Dense ``data vertex -> position in C(u)`` map (built on demand).
+
+        int32 is enough (positions are bounded by ``|C(u)| < |V(G)|``)
+        and halves the O(|V(G)|)-per-query-vertex footprint.
+        """
+        positions = self._positions.get(u)
+        if positions is None:
+            source = self.candidates.array(u)
+            positions = np.full(self.data.num_vertices, -1, dtype=np.int32)
+            positions[source] = np.arange(source.size, dtype=np.int32)
+            positions.setflags(write=False)
+            self._positions[u] = positions
+        return positions
+
+    def edge_flat(
+        self, u: int, u_prime: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The flat ``(positions, offsets, concat_indices)`` triple.
+
+        The iterative enumeration engine pre-binds these arrays per depth
+        so its hot loop is two array indexings plus array intersections.
+        """
+        flat = self._flat.get((u, u_prime))
+        if flat is None:
+            raise FilterError(f"({u}, {u_prime}) is not a query edge")
+        return (self._position_map(u),) + flat
+
+    def edge_candidates_array(self, u: int, u_prime: int, v: int) -> np.ndarray:
+        """``N(v) ∩ C(u')`` for ``v ∈ C(u)`` as a sorted int64 array."""
+        flat = self._flat.get((u, u_prime))
+        if flat is None:
+            raise FilterError(f"({u}, {u_prime}) is not a query edge")
+        positions = self._position_map(u)
+        if not 0 <= v < positions.size:
+            return _EMPTY_ARRAY
+        p = positions[v]
+        if p < 0:
+            return _EMPTY_ARRAY
+        offsets, concat = flat
+        return concat[offsets[p] : offsets[p + 1]]
 
     def edge_candidates(self, u: int, u_prime: int, v: int) -> frozenset[int]:
-        """``N(v) ∩ C(u')`` for ``v ∈ C(u)`` along query edge ``(u, u')``."""
+        """:meth:`edge_candidates_array` as a frozenset (lazy view)."""
         direction = self._sets_for((u, u_prime))
         if direction is None:
             raise FilterError(f"({u}, {u_prime}) is not a query edge")
         return direction.get(v, _EMPTY)
 
-    def edge_candidates_array(self, u: int, u_prime: int, v: int) -> np.ndarray:
-        """:meth:`edge_candidates` as a sorted int64 array."""
-        direction = self._edge_arrays.get((u, u_prime))
-        if direction is None:
-            raise FilterError(f"({u}, {u_prime}) is not a query edge")
-        return direction.get(v, _EMPTY_ARRAY)
-
-    def edge_arrays(self, u: int, u_prime: int) -> dict[int, np.ndarray]:
-        """The whole ``v -> N(v) ∩ C(u')`` array map for query edge ``(u, u')``.
-
-        The iterative enumeration engine pre-binds these dicts per depth
-        so its hot loop is a plain lookup plus array intersections.
-        """
-        direction = self._edge_arrays.get((u, u_prime))
-        if direction is None:
-            raise FilterError(f"({u}, {u_prime}) is not a query edge")
-        return direction
+    def _sets_for(
+        self, key: tuple[int, int]
+    ) -> dict[int, frozenset[int]] | None:
+        """Frozenset view of one edge direction (built on first use)."""
+        sets = self._set_views.get(key)
+        if sets is None:
+            flat = self._flat.get(key)
+            if flat is None:
+                return None
+            offsets, concat = flat
+            source = self.candidates.array(key[0]).tolist()
+            bounds = offsets.tolist()
+            values = concat.tolist()
+            sets = {
+                v: frozenset(values[bounds[p] : bounds[p + 1]])
+                for p, v in enumerate(source)
+            }
+            self._set_views[key] = sets
+        return sets
 
     def local_candidates(
         self, u: int, mapped: list[tuple[int, int]]
@@ -136,17 +206,22 @@ class CandidateSpace:
         return result
 
     def memory_bytes(self) -> int:
-        """Approximate index footprint (for space-overhead reporting)."""
-        total = 0
-        for direction in self._edge_arrays.values():
-            for arr in direction.values():
-                total += 8 * (arr.size + 1)
-        # Lazily materialized frozenset views count once they exist.
-        for direction in self._edges.values():
-            for adjacent in direction.values():
-                total += 8 * (len(adjacent) + 1)
+        """Index footprint: flat buffers, position maps, and lazy views.
+
+        Each canonical buffer is counted exactly once; frozenset views
+        are counted via their actual object sizes when (and only when)
+        they have been materialized — no double-charging the same
+        adjacency entries at 8 bytes twice.
+        """
+        total = sum(
+            offsets.nbytes + concat.nbytes for offsets, concat in self._flat.values()
+        )
+        total += sum(positions.nbytes for positions in self._positions.values())
+        for direction in self._set_views.values():
+            total += sys.getsizeof(direction)
+            total += sum(sys.getsizeof(adjacent) for adjacent in direction.values())
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        pairs = sum(len(d) for d in self._edge_arrays.values())
-        return f"CandidateSpace(edges={len(self._edge_arrays) // 2}, entries={pairs})"
+        pairs = sum(offsets.size - 1 for offsets, _ in self._flat.values())
+        return f"CandidateSpace(edges={len(self._flat) // 2}, entries={pairs})"

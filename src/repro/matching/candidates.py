@@ -6,12 +6,19 @@ participating in some embedding must survive filtering.  Filters here only
 ever *shrink* candidate sets, so completeness is preserved by construction
 as long as the base rule (label match + degree) is complete — which it is
 for subgraph isomorphism.
+
+The canonical representation of each ``C(u)`` is a sorted, duplicate-free
+int64 array — the form every CSR-flat consumer (:class:`CandidateSpace`,
+the iterative enumerator, the vectorized filters) works on directly.  The
+frozenset views used by set-based call sites are derived lazily, one
+query vertex at a time, so array-only pipelines never build them.
 """
 
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterable, Sequence
+import sys
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -21,33 +28,61 @@ from repro.graphs.stats import GraphStats
 
 __all__ = ["CandidateSets", "CandidateFilter"]
 
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
 
 class CandidateSets:
     """Per-query-vertex candidate sets ``C(u)``.
 
-    Stores each ``C(u)`` both as a frozenset (membership tests in the
-    enumeration hot loop) and as a sorted array (deterministic iteration).
+    Canonically stores each ``C(u)`` as a sorted int64 array; the
+    frozenset view (membership tests in the recursive engine) is
+    materialized lazily per vertex.
     """
 
-    __slots__ = ("_sets", "_arrays")
+    __slots__ = ("_arrays", "_sets")
 
     def __init__(self, sets: Sequence[Iterable[int]]):
-        self._sets: list[frozenset[int]] = [frozenset(int(v) for v in s) for s in sets]
         self._arrays: list[np.ndarray] = []
-        for s in self._sets:
-            arr = np.fromiter(s, dtype=np.int64, count=len(s))
-            arr.sort()
+        for s in sets:
+            if isinstance(s, np.ndarray):
+                arr = np.unique(np.asarray(s, dtype=np.int64))
+            else:
+                arr = np.unique(np.fromiter((int(v) for v in s), dtype=np.int64))
             arr.setflags(write=False)
             self._arrays.append(arr)
+        self._sets: list[frozenset[int] | None] = [None] * len(self._arrays)
+
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[np.ndarray]) -> "CandidateSets":
+        """Trusted fast path: wrap sorted, duplicate-free int64 arrays.
+
+        The vectorized filters produce candidates as masked slices of the
+        data graph's label index, which are sorted and unique already —
+        no per-element Python round trip is needed.  Int64 inputs are
+        wrapped (not copied) and frozen read-only in place; pass copies
+        if the caller needs to keep mutating them.
+        """
+        self = cls.__new__(cls)
+        self._arrays = []
+        for arr in arrays:
+            arr = np.asarray(arr, dtype=np.int64)
+            arr.setflags(write=False)
+            self._arrays.append(arr)
+        self._sets = [None] * len(self._arrays)
+        return self
 
     @property
     def num_query_vertices(self) -> int:
         """Number of query vertices covered."""
-        return len(self._sets)
+        return len(self._arrays)
 
     def get(self, u: int) -> frozenset[int]:
-        """Candidate set ``C(u)`` as a frozenset."""
-        return self._sets[u]
+        """Candidate set ``C(u)`` as a frozenset (materialized lazily)."""
+        s = self._sets[u]
+        if s is None:
+            s = self._sets[u] = frozenset(self._arrays[u].tolist())
+        return s
 
     def array(self, u: int) -> np.ndarray:
         """Candidate set ``C(u)`` as a sorted array."""
@@ -55,32 +90,54 @@ class CandidateSets:
 
     def size(self, u: int) -> int:
         """``|C(u)|``."""
-        return len(self._sets[u])
+        return int(self._arrays[u].size)
 
     def sizes(self) -> list[int]:
         """All candidate set sizes indexed by query vertex."""
-        return [len(s) for s in self._sets]
+        return [int(arr.size) for arr in self._arrays]
 
     def total_size(self) -> int:
         """Sum of all candidate set sizes."""
-        return sum(len(s) for s in self._sets)
+        return sum(int(arr.size) for arr in self._arrays)
 
     def has_empty(self) -> bool:
         """Whether any ``C(u)`` is empty (query has no match)."""
-        return any(not s for s in self._sets)
+        return any(arr.size == 0 for arr in self._arrays)
 
     def contains(self, u: int, v: int) -> bool:
         """Whether data vertex ``v`` is in ``C(u)``."""
-        return v in self._sets[u]
+        arr = self._arrays[u]
+        i = int(np.searchsorted(arr, v))
+        return i < arr.size and int(arr[i]) == v
 
     def restricted(self, u: int, keep: Iterable[int]) -> "CandidateSets":
-        """A copy with ``C(u)`` intersected with ``keep`` (others unchanged)."""
-        new_sets = list(self._sets)
-        new_sets[u] = self._sets[u] & frozenset(keep)
-        return CandidateSets(new_sets)
+        """A copy with ``C(u)`` intersected with ``keep`` (others unchanged).
 
-    def __iter__(self):
-        return iter(self._sets)
+        Untouched columns are shared by reference — only column ``u`` is
+        recomputed, so restricting one vertex of a large candidate
+        structure is O(|C(u)| + |keep|), not a full rebuild.
+        """
+        if isinstance(keep, np.ndarray):
+            keep_arr = np.unique(np.asarray(keep, dtype=np.int64))
+        else:
+            keep_arr = np.unique(np.fromiter((int(v) for v in keep), dtype=np.int64))
+        new_col = np.intersect1d(self._arrays[u], keep_arr, assume_unique=True)
+        new_col.setflags(write=False)
+        clone = CandidateSets.__new__(CandidateSets)
+        clone._arrays = list(self._arrays)
+        clone._sets = list(self._sets)
+        clone._arrays[u] = new_col
+        clone._sets[u] = None
+        return clone
+
+    def memory_bytes(self) -> int:
+        """Array footprint plus any lazily materialized frozenset views."""
+        total = sum(arr.nbytes for arr in self._arrays)
+        total += sum(sys.getsizeof(s) for s in self._sets if s is not None)
+        return total
+
+    def __iter__(self) -> Iterator[frozenset[int]]:
+        return (self.get(u) for u in range(len(self._arrays)))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"CandidateSets(sizes={self.sizes()})"

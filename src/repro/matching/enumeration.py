@@ -12,7 +12,7 @@ Two engines implement the procedure:
 * ``strategy="iterative"`` (the default) — an explicit-stack DFS over
   per-depth cursors into sorted numpy candidate arrays, with local
   candidates computed by sorted-array intersection against the
-  :class:`~repro.matching.candidate_space.CandidateSpace` per-edge
+  :class:`~repro.matching.candidate_space.CandidateSpace` flat per-edge
   index (see :mod:`repro.matching.enumeration_iter`).  It uses O(1)
   Python stack frames regardless of query depth, so deep path queries
   that used to die with :class:`RecursionError` now enumerate fine, and
@@ -25,6 +25,15 @@ Two engines implement the procedure:
   on random instances.  Note its depth is bounded by
   ``sys.getrecursionlimit()`` — it is not for production paths.
 
+Shared Phase (1) artifacts (candidates + the per-edge index) travel in a
+:class:`~repro.matching.context.MatchingContext`: callers that run many
+enumerations over one instance (the matching engine, reward rollouts,
+the optimal-order sweep, profiling) build the context once and call
+:meth:`Enumerator.run_context`, so the candidate space is constructed
+exactly once per instance instead of being re-derived behind a private
+LRU cache.  The positional :meth:`Enumerator.run` signature remains as a
+convenience that wraps a fresh context.
+
 ``#enum`` counts the extension steps of the procedure (for the
 recursive engine, its recursive calls) — the paper's order-quality
 metric (Def. II.6).  The enumerator honours a match limit (the paper
@@ -36,15 +45,14 @@ reporting both in the result.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import EnumerationError
 from repro.graphs.graph import Graph
 from repro.graphs.validation import check_order
-from repro.matching.candidate_space import CandidateSpace
 from repro.matching.candidates import CandidateSets
+from repro.matching.context import MatchingContext
 from repro.matching.enumeration_iter import enumerate_iterative
 
 __all__ = [
@@ -62,11 +70,6 @@ DEFAULT_TIME_LIMIT: float = 500.0
 
 #: Engine implementations selectable via ``Enumerator(strategy=...)``.
 ENUMERATION_STRATEGIES: tuple[str, ...] = ("iterative", "recursive")
-
-#: (query, data, candidates) triples cached per enumerator; repeated runs
-#: on the same instance (reward rollouts, optimal-order sweeps) reuse the
-#: per-edge index instead of rebuilding it.
-_SPACE_CACHE_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -157,10 +160,15 @@ class Enumerator:
         #: recursion steps.
         self.use_candidate_space = use_candidate_space
         self.strategy = strategy
-        self._space_cache: OrderedDict[
-            tuple[int, int, int],
-            tuple[Graph, Graph, CandidateSets, CandidateSpace],
-        ] = OrderedDict()
+
+    @property
+    def needs_space(self) -> bool:
+        """Whether this engine consumes the per-edge candidate index.
+
+        The matching engine uses this to decide whether Phase (1) should
+        pre-build :class:`CandidateSpace` (billed to ``filter_time``).
+        """
+        return self.strategy == "iterative" or self.use_candidate_space
 
     def run(
         self,
@@ -169,11 +177,24 @@ class Enumerator:
         candidates: CandidateSets,
         order: Sequence[int],
     ) -> EnumerationResult:
-        """Enumerate embeddings of ``query`` in ``data`` along ``order``."""
-        order = [int(u) for u in order]
-        check_order(query, order, connected=False)
+        """Enumerate embeddings of ``query`` in ``data`` along ``order``.
+
+        Convenience wrapper over :meth:`run_context` that builds a fresh
+        :class:`MatchingContext` (and therefore a fresh candidate space)
+        for this single run.  Callers that enumerate the same instance
+        repeatedly should build the context once themselves.
+        """
         if candidates.num_query_vertices != query.num_vertices:
             raise EnumerationError("candidate sets do not cover the query")
+        return self.run_context(MatchingContext(query, data, candidates), order)
+
+    def run_context(
+        self, context: MatchingContext, order: Sequence[int]
+    ) -> EnumerationResult:
+        """Enumerate along ``order`` using shared Phase (1) artifacts."""
+        query = context.query
+        order = [int(u) for u in order]
+        check_order(query, order, connected=False)
 
         n = query.num_vertices
         start_time = time.perf_counter()
@@ -192,55 +213,26 @@ class Enumerator:
             )
 
         if self.strategy == "iterative":
-            return self._run_iterative(query, data, candidates, order, backward, start_time)
-        return self._run_recursive(query, data, candidates, order, backward, start_time)
-
-    # ------------------------------------------------------------------
-    # Shared helpers
-    # ------------------------------------------------------------------
-    def _candidate_space(
-        self, query: Graph, data: Graph, candidates: CandidateSets
-    ) -> CandidateSpace:
-        """Per-edge index for this instance, LRU-cached across runs."""
-        key = (id(query), id(data), id(candidates))
-        hit = self._space_cache.get(key)
-        if (
-            hit is not None
-            and hit[0] is query
-            and hit[1] is data
-            and hit[2] is candidates
-        ):
-            self._space_cache.move_to_end(key)
-            return hit[3]
-        space = CandidateSpace(query, data, candidates)
-        self._space_cache[key] = (query, data, candidates, space)
-        if len(self._space_cache) > _SPACE_CACHE_SIZE:
-            self._space_cache.popitem(last=False)
-        return space
+            return self._run_iterative(context, order, backward, start_time)
+        return self._run_recursive(context, order, backward, start_time)
 
     # ------------------------------------------------------------------
     # Iterative engine (default)
     # ------------------------------------------------------------------
     def _run_iterative(
         self,
-        query: Graph,
-        data: Graph,
-        candidates: CandidateSets,
+        context: MatchingContext,
         order: list[int],
         backward: list[list[int]],
         start_time: float,
     ) -> EnumerationResult:
-        space = self._candidate_space(query, data, candidates)
         deadline = (
             start_time + self.time_limit if self.time_limit is not None else None
         )
         found, enum, timed_out, limited, matches = enumerate_iterative(
-            query,
-            data,
-            candidates,
+            context,
             order,
             backward,
-            space,
             self.match_limit,
             deadline,
             self.check_every,
@@ -261,22 +253,19 @@ class Enumerator:
     # ------------------------------------------------------------------
     def _run_recursive(
         self,
-        query: Graph,
-        data: Graph,
-        candidates: CandidateSets,
+        context: MatchingContext,
         order: list[int],
         backward: list[list[int]],
         start_time: float,
     ) -> EnumerationResult:
+        query, data, candidates = context.query, context.data, context.candidates
         n = query.num_vertices
         cand_sets = [candidates.get(u) for u in order]
         cand_arrays = [candidates.array(u) for u in order]
         neighbor_set = data.neighbor_set
         neighbors = data.neighbors
         degree = data.degree
-        candidate_space = None
-        if self.use_candidate_space:
-            candidate_space = self._candidate_space(query, data, candidates)
+        candidate_space = context.space if self.use_candidate_space else None
 
         images: list[int] = [-1] * n
         used: set[int] = set()

@@ -10,8 +10,11 @@ style of LIVE's and NeuSO's index-driven enumeration loops.
 Local candidates at depth ``i`` are computed by sorted-array
 intersection (:func:`intersect_sorted` — ``np.intersect1d`` for balanced
 inputs, a ``searchsorted`` gallop when one side dwarfs the other) over
-the :class:`~repro.matching.candidate_space.CandidateSpace` per-edge
-index, then filtered for injectivity with one vectorised boolean mask.
+the :class:`~repro.matching.candidate_space.CandidateSpace` flat per-edge
+index: each per-depth binding is a ``(positions, offsets, concat)``
+array triple, so resolving a backward neighbour's adjacency list is two
+array indexings — no dict probes on the hot path.  Injectivity is one
+vectorised boolean mask.
 
 The traversal visits candidates in ascending vertex order — exactly the
 order the recursive engine's sorted adjacency scans produce — so the two
@@ -27,9 +30,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.graphs.graph import Graph
-from repro.matching.candidate_space import CandidateSpace
-from repro.matching.candidates import CandidateSets
+from repro.matching.context import MatchingContext
 
 __all__ = ["intersect_sorted", "enumerate_iterative"]
 
@@ -60,12 +61,9 @@ def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def enumerate_iterative(
-    query: Graph,
-    data: Graph,
-    candidates: CandidateSets,
+    context: MatchingContext,
     order: Sequence[int],
     backward: Sequence[Sequence[int]],
-    space: CandidateSpace,
     match_limit: int | None,
     deadline: float | None,
     check_every: int,
@@ -74,15 +72,20 @@ def enumerate_iterative(
     """Run the explicit-stack DFS; returns raw counters, not a result.
 
     Parameters mirror one :meth:`Enumerator.run` invocation after its
-    shared validation: ``backward`` lists backward-neighbour *positions*
-    per position in ``order``, ``space`` is the per-edge candidate index
-    for this (query, data, candidates) triple, and ``deadline`` is an
-    absolute ``time.perf_counter`` timestamp.
+    shared validation: ``context`` carries the instance (its
+    :class:`CandidateSpace` is built on first access when the engine
+    runs standalone; the matching engine pre-builds it in Phase (1)),
+    ``backward`` lists backward-neighbour *positions* per position in
+    ``order``, and ``deadline`` is an absolute ``time.perf_counter``
+    timestamp.
 
     Returns ``(num_matches, num_enumerations, timed_out, limit_reached,
     matches)`` with ``#enum`` counted exactly as the recursive engine
     counts calls: one for the root plus one per extension attempt.
     """
+    data = context.data
+    candidates = context.candidates
+    space = context.space
     n = len(order)
     last = n - 1
     used = np.zeros(data.num_vertices, dtype=bool)
@@ -95,11 +98,12 @@ def enumerate_iterative(
     timed_out = limited = False
     perf_counter = time.perf_counter
 
-    # Pre-bind, per depth, the edge-array lookup dict of every backward
-    # neighbour (keyed by that neighbour's image at runtime).
+    # Pre-bind, per depth, the flat (positions, offsets, concat) triple of
+    # every backward neighbour's edge direction; at runtime resolving one
+    # adjacency list is positions[image] then an offsets slice.
     base_arrays: list[np.ndarray] = [candidates.array(u) for u in order]
-    lookups: list[list[dict[int, np.ndarray]]] = [
-        [space.edge_arrays(order[b], u) for b in backward[i]]
+    bindings: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
+        [space.edge_flat(order[b], u) for b in backward[i]]
         for i, u in enumerate(order)
     ]
 
@@ -107,18 +111,21 @@ def enumerate_iterative(
         backs = backward[depth]
         if not backs:
             arr = base_arrays[depth]
+        elif len(backs) == 1:
+            positions, offsets, concat = bindings[depth][0]
+            p = positions[images[backs[0]]]
+            arr = concat[offsets[p] : offsets[p + 1]]
         else:
-            dicts = lookups[depth]
-            if len(backs) == 1:
-                arr = dicts[0].get(images[backs[0]], _EMPTY)
-            else:
-                arrays = [d.get(images[b], _EMPTY) for d, b in zip(dicts, backs)]
-                arrays.sort(key=len)
-                arr = arrays[0]
-                for other in arrays[1:]:
-                    if not arr.size:
-                        break
-                    arr = intersect_sorted(arr, other)
+            arrays = []
+            for (positions, offsets, concat), b in zip(bindings[depth], backs):
+                p = positions[images[b]]
+                arrays.append(concat[offsets[p] : offsets[p + 1]])
+            arrays.sort(key=len)
+            arr = arrays[0]
+            for other in arrays[1:]:
+                if not arr.size:
+                    break
+                arr = intersect_sorted(arr, other)
         if arr.size:
             # Injectivity: drop images of mapped ancestors.  `used` is
             # constant while this depth's sibling loop runs, so filtering

@@ -4,15 +4,31 @@
 
 Every embedding maps ``u`` to a same-label vertex of at-least-equal degree,
 so LDF is complete; all stronger filters start from it.
+
+The rule is evaluated as one vectorized mask per query vertex over the
+data graph's label index and degree array — no per-vertex Python loop —
+and the surviving slice feeds :meth:`CandidateSets.from_arrays` directly
+(the label index is sorted, and masking preserves order).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
 from repro.matching.candidates import CandidateFilter, CandidateSets
 
-__all__ = ["LDFFilter"]
+__all__ = ["LDFFilter", "ldf_candidates"]
+
+
+def ldf_candidates(query: Graph, data: Graph, u: int) -> np.ndarray:
+    """Sorted LDF survivors for one query vertex (shared base rule)."""
+    same_label = data.vertices_with_label(query.label(u))
+    if same_label.size == 0:
+        return same_label
+    keep = np.flatnonzero(data.degrees[same_label] >= query.degree(u))
+    return same_label[keep]
 
 
 class LDFFilter(CandidateFilter):
@@ -23,10 +39,6 @@ class LDFFilter(CandidateFilter):
     def filter(
         self, query: Graph, data: Graph, stats: GraphStats | None = None
     ) -> CandidateSets:
-        sets = []
-        for u in query.vertices():
-            lab, deg = query.label(u), query.degree(u)
-            sets.append(
-                [int(v) for v in data.vertices_with_label(lab) if data.degree(int(v)) >= deg]
-            )
-        return CandidateSets(sets)
+        return CandidateSets.from_arrays(
+            [ldf_candidates(query, data, u) for u in query.vertices()]
+        )

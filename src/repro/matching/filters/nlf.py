@@ -4,15 +4,23 @@ On top of LDF, ``v`` stays in ``C(u)`` only if for every label ``l`` the
 number of ``l``-labeled neighbours of ``v`` is at least the number of
 ``l``-labeled neighbours of ``u``.  Any embedding maps ``N(u)`` injectively
 into ``N(v)`` preserving labels, so the rule is complete.
+
+The per-label neighbour counts come from
+:meth:`GraphStats.neighbor_label_counts` — one ``np.bincount`` over the
+data graph's CSR arrays per *required* label, cached on the stats object
+so a whole query workload against one data graph pays each label's scan
+once.  The per-query-vertex rule is then a chain of vectorized masks over
+the LDF survivors — no per-candidate Counter comparisons.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
 from repro.matching.candidates import CandidateFilter, CandidateSets
+from repro.matching.filters.ldf import ldf_candidates
 
 __all__ = ["NLFFilter"]
 
@@ -25,27 +33,20 @@ class NLFFilter(CandidateFilter):
     def filter(
         self, query: Graph, data: Graph, stats: GraphStats | None = None
     ) -> CandidateSets:
-        query_nlf = [Counter(query.neighbor_labels(u)) for u in query.vertices()]
-        data_nlf_cache: dict[int, Counter[int]] = {}
+        stats = self._require_stats(data, stats)
 
-        def data_nlf(v: int) -> Counter[int]:
-            cached = data_nlf_cache.get(v)
-            if cached is None:
-                cached = Counter(data.neighbor_labels(v))
-                data_nlf_cache[v] = cached
-            return cached
-
-        sets = []
+        arrays: list[np.ndarray] = []
         for u in query.vertices():
-            lab, deg = query.label(u), query.degree(u)
-            need = query_nlf[u]
-            survivors = []
-            for v in data.vertices_with_label(lab):
-                v = int(v)
-                if data.degree(v) < deg:
-                    continue
-                have = data_nlf(v)
-                if all(have.get(l, 0) >= c for l, c in need.items()):
-                    survivors.append(v)
-            sets.append(survivors)
-        return CandidateSets(sets)
+            survivors = ldf_candidates(query, data, u)
+            # Label requirements of N(u), vectorized over the neighbours.
+            need_labels, need_counts = np.unique(
+                query.labels[query.neighbors(u)], return_counts=True
+            )
+            for lab, cnt in zip(need_labels.tolist(), need_counts.tolist()):
+                if survivors.size == 0:
+                    break
+                counts = stats.neighbor_label_counts(lab)
+                keep = np.flatnonzero(counts[survivors] >= cnt)
+                survivors = survivors[keep]
+            arrays.append(survivors)
+        return CandidateSets.from_arrays(arrays)

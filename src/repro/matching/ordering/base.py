@@ -19,6 +19,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
 from repro.graphs.validation import check_order
 from repro.matching.candidates import CandidateSets
+from repro.matching.context import MatchingContext
 
 __all__ = ["Orderer", "connected_extension"]
 
@@ -39,6 +40,23 @@ class Orderer(abc.ABC):
         rng: np.random.Generator | None = None,
     ) -> list[int]:
         """Return a matching order ``φ`` for ``query``."""
+
+    def order_context(
+        self,
+        context: MatchingContext,
+        rng: np.random.Generator | None = None,
+    ) -> list[int]:
+        """:meth:`order` over shared Phase (1) artifacts.
+
+        The matching engine calls this with the run's
+        :class:`MatchingContext` so strategies that enumerate (e.g. the
+        optimal-order sweep) reuse the already-built candidate space
+        instead of re-deriving it.  The default simply unpacks the
+        context into the positional :meth:`order` signature.
+        """
+        return self.order(
+            context.query, context.data, context.candidates, context.stats, rng
+        )
 
     def checked_order(
         self,

@@ -19,6 +19,7 @@ from repro.errors import FilterError
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
 from repro.matching.candidates import CandidateSets
+from repro.matching.context import MatchingContext
 from repro.matching.enumeration import Enumerator
 from repro.matching.ordering.base import Orderer
 
@@ -104,6 +105,22 @@ class OptimalOrderer(Orderer):
     ) -> list[int]:
         if data is None or candidates is None:
             raise FilterError("optimal ordering needs the data graph and candidates")
+        return self.order_context(
+            MatchingContext(query, data, candidates, stats), rng
+        )
+
+    def order_context(
+        self,
+        context: MatchingContext,
+        rng: np.random.Generator | None = None,
+    ) -> list[int]:
+        """Sweep permutations reusing the context's shared candidate space.
+
+        Every candidate permutation is enumerated against the same
+        :class:`MatchingContext`, so the per-edge index is built once for
+        the whole sweep rather than once per permutation.
+        """
+        query = context.query
         enumerator = Enumerator(
             match_limit=self.match_limit,
             time_limit=self.time_limit,
@@ -114,13 +131,13 @@ class OptimalOrderer(Orderer):
 
         def consider(phi: list[int]) -> None:
             nonlocal best_order, best_enum
-            result = enumerator.run(query, data, candidates, phi)
+            result = enumerator.run_context(context, phi)
             if best_enum is None or result.num_enumerations < best_enum:
                 best_enum = result.num_enumerations
                 best_order = phi
 
         for orderer in self.seed_orderers:
-            consider(orderer.order(query, data, candidates, stats, rng))
+            consider(orderer.order_context(context, rng))
         for count, phi in enumerate(connected_permutations(query)):
             if self.max_permutations is not None and count >= self.max_permutations:
                 break

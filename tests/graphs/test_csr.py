@@ -1,0 +1,152 @@
+"""CSR backbone tests: old-vs-new accessor equivalence and the fast path.
+
+The CSR refactor must be behaviour-preserving: every accessor of
+:class:`Graph` has to agree with a naive per-vertex reference built
+straight from the edge list (the shape of the pre-CSR implementation),
+and :meth:`Graph.from_csr` must be indistinguishable from the validating
+constructor on canonical inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidGraphError
+from repro.graphs import Graph, edges_to_csr
+
+
+@st.composite
+def labeled_edge_lists(draw, max_vertices: int = 20):
+    """(labels, edges) pairs with duplicates and both orientations."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    labels = draw(st.lists(st.integers(0, 5), min_size=n, max_size=n))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=50) if possible else st.just([])
+    )
+    return labels, edges
+
+
+def reference_adjacency(n: int, edges) -> list[set[int]]:
+    """Per-vertex neighbour sets the way the pre-CSR constructor built them."""
+    sets: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        sets[u].add(v)
+        sets[v].add(u)
+    return sets
+
+
+class TestAccessorEquivalence:
+    @given(labeled_edge_lists())
+    def test_neighbors_match_reference(self, case):
+        labels, edges = case
+        g = Graph(labels, edges)
+        ref = reference_adjacency(len(labels), edges)
+        for v in g.vertices():
+            assert g.neighbors(v).tolist() == sorted(ref[v])
+            assert g.neighbor_set(v) == ref[v]
+            assert g.degree(v) == len(ref[v])
+
+    @given(labeled_edge_lists())
+    def test_has_edge_matches_reference(self, case):
+        labels, edges = case
+        g = Graph(labels, edges)
+        ref = reference_adjacency(len(labels), edges)
+        for u in g.vertices():
+            for v in g.vertices():
+                assert g.has_edge(u, v) == (v in ref[u])
+
+    @given(labeled_edge_lists())
+    def test_vertices_with_label_matches_reference(self, case):
+        labels, edges = case
+        g = Graph(labels, edges)
+        for lab in set(labels) | {max(labels) + 1}:
+            expected = [v for v, l in enumerate(labels) if l == lab]
+            assert g.vertices_with_label(lab).tolist() == expected
+            assert g.label_frequency(lab) == len(expected)
+
+    @given(labeled_edge_lists())
+    def test_edge_list_is_canonical(self, case):
+        labels, edges = case
+        g = Graph(labels, edges)
+        expected = sorted({(min(u, v), max(u, v)) for u, v in edges})
+        assert list(g.edges()) == expected
+        assert g.num_edges == len(expected)
+
+
+class TestCSRInvariants:
+    @given(labeled_edge_lists())
+    def test_csr_arrays_consistent(self, case):
+        labels, edges = case
+        g = Graph(labels, edges)
+        indptr, indices = g.csr
+        assert indptr.size == g.num_vertices + 1
+        assert indptr[0] == 0 and indptr[-1] == indices.size
+        assert indices.size == 2 * g.num_edges
+        assert np.array_equal(np.diff(indptr), g.degrees)
+        for v in g.vertices():
+            row = indices[indptr[v] : indptr[v + 1]]
+            assert np.array_equal(np.sort(row), row)
+            assert np.unique(row).size == row.size
+
+    @given(labeled_edge_lists())
+    def test_neighbors_are_zero_copy_slices(self, case):
+        labels, edges = case
+        g = Graph(labels, edges)
+        for v in g.vertices():
+            row = g.neighbors(v)
+            if row.size:
+                assert row.base is g.indices or row.base is g.indices.base
+
+    def test_csr_arrays_read_only(self):
+        g = Graph([0, 1], [(0, 1)])
+        with pytest.raises(ValueError):
+            g.indptr[0] = 7
+        with pytest.raises(ValueError):
+            g.indices[0] = 7
+
+
+class TestFromCSR:
+    @given(labeled_edge_lists())
+    def test_from_csr_equals_validating_constructor(self, case):
+        labels, edges = case
+        via_init = Graph(labels, edges)
+        via_csr = Graph.from_csr(labels, *edges_to_csr(len(labels), edges))
+        assert via_init == via_csr
+        assert hash(via_init) == hash(via_csr)
+        for v in via_init.vertices():
+            assert via_csr.neighbors(v).tolist() == via_init.neighbors(v).tolist()
+
+    def test_from_csr_rejects_wrong_indptr_length(self):
+        indptr, indices = edges_to_csr(2, [(0, 1)])
+        with pytest.raises(InvalidGraphError):
+            Graph.from_csr([0, 1, 2], indptr, indices)
+
+    def test_edges_to_csr_rejects_self_loop_and_range(self):
+        with pytest.raises(InvalidGraphError):
+            edges_to_csr(3, [(1, 1)])
+        with pytest.raises(InvalidGraphError):
+            edges_to_csr(3, [(0, 3)])
+
+    def test_edges_to_csr_empty(self):
+        indptr, indices = edges_to_csr(3, [])
+        assert indptr.tolist() == [0, 0, 0, 0]
+        assert indices.size == 0
+
+
+class TestLazyViews:
+    def test_memory_bytes_counts_materialized_views(self):
+        g = Graph([0] * 50, [(i, i + 1) for i in range(49)])
+        base = g.memory_bytes()
+        for v in g.vertices():
+            g.neighbor_set(v)
+        with_sets = g.memory_bytes()
+        assert with_sets > base
+        g.edges()
+        assert g.memory_bytes() > with_sets
+
+    def test_neighbor_sets_cached_per_vertex(self):
+        g = Graph([0, 0, 0], [(0, 1), (1, 2)])
+        assert g.neighbor_set(1) is g.neighbor_set(1)
+        assert g.neighbor_set(1) == {0, 2}

@@ -162,14 +162,16 @@ class TestEdgeCases:
 
         assert Enumerator().time_limit == DEFAULT_TIME_LIMIT == 500.0
 
-    def test_space_cache_reused_across_runs(self):
+    def test_shared_context_reuses_candidate_space(self):
+        from repro.matching import MatchingContext
+
         query, data, candidates, order = _random_instance(11)
         enumerator = Enumerator(strategy="iterative", match_limit=None)
-        first = enumerator.run(query, data, candidates, order)
-        space = enumerator._candidate_space(query, data, candidates)
-        again = enumerator._candidate_space(query, data, candidates)
-        assert space is again
-        second = enumerator.run(query, data, candidates, order)
+        context = MatchingContext(query, data, candidates)
+        first = enumerator.run_context(context, order)
+        space = context.space
+        second = enumerator.run_context(context, order)
+        assert context.space is space
         assert first.num_enumerations == second.num_enumerations
 
 
