@@ -4,9 +4,12 @@
 The paper motivates subgraph matching with graphlet/motif analysis in
 protein-protein interaction networks [2].  This example searches the
 (synthesized) Yeast PPI network for classic interaction motifs —
-triangles, stars and a "bridged complex" — with hand-written query
-graphs, and shows how much the matching order matters even for small
-motifs by comparing several ordering strategies on the same pipeline.
+triangles, stars and a "bridged complex" — through the prepare-once
+facade: one :class:`repro.Matcher` binds the network, each motif is
+planned once, alternative orderings are compared by *re-planning* over
+the same Phase (1) artifacts (one shared candidate space per motif), and
+the first few concrete embeddings are pulled lazily from
+:meth:`Matcher.stream` without running the search to completion.
 
 Usage::
 
@@ -17,8 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Enumerator, GQLFilter, Graph, MatchingContext, dataset_stats, load_dataset
-from repro.matching import GQLOrderer, RandomOrderer, RIOrderer, VF2PPOrderer
+from repro import Graph, Matcher, dataset_stats, load_dataset
 
 
 def motif_catalogue(data: Graph) -> dict[str, Graph]:
@@ -48,36 +50,36 @@ def main() -> None:
     stats = dataset_stats("yeast")
     print(f"searching motifs in {data} (synthesized Yeast PPI stand-in)\n")
 
-    gql = GQLFilter()
-    enumerator = Enumerator(match_limit=50_000, time_limit=10.0)
-    orderers = {
-        "ri": RIOrderer(),
-        "vf2pp": VF2PPOrderer(),
-        "gql": GQLOrderer(),
-        "random": RandomOrderer(seed=0),
-    }
+    # Prepare once: GQL filter + RI ordering + iterative enumeration,
+    # bound to the PPI network.  Every motif below reuses this state.
+    matcher = Matcher(data, filter="gql", orderer="ri",
+                      match_limit=50_000, time_limit=10.0, stats=stats)
+    compared_orderers = ("ri", "vf2pp", "gql", "random")
 
     for motif_name, motif in motif_catalogue(data).items():
-        candidates = gql.filter(motif, data, stats)
-        if candidates.has_empty():
+        rng = np.random.default_rng(0)
+        # One plan per motif: all compared orders re-plan over the same
+        # Phase (1) artifacts, sharing a single CandidateSpace build.
+        plan = matcher.plan(motif, rng)
+        if not plan.matchable:
             print(f"{motif_name:>16}: no candidates — motif absent")
             continue
         print(f"{motif_name:>16}: |V|={motif.num_vertices} "
-              f"|E|={motif.num_edges} candidate sizes={candidates.sizes()}")
-        rng = np.random.default_rng(0)
-        # One context per motif: all compared orders reuse one
-        # CandidateSpace build instead of paying it per enumeration.
-        # Built eagerly so the first orderer's printed time is not
-        # inflated by the shared Phase (1) index build.
-        context = MatchingContext(motif, data, candidates, stats)
-        context.ensure_space()
-        for name, orderer in orderers.items():
-            order = orderer.order_context(context, rng)
-            result = enumerator.run_context(context, order)
-            status = "" if result.complete else " (truncated)"
+              f"|E|={motif.num_edges} "
+              f"candidate sizes={list(plan.candidate_counts)}")
+        for name in compared_orderers:
+            replanned = plan if name == "ri" else matcher.replan(plan, name, rng)
+            result = matcher.execute(replanned)
+            status = "" if result.solved and not result.enumeration.limit_reached \
+                else " (truncated)"
             print(f"{'':>16}  {name:>6}: {result.num_matches:>7} matches, "
                   f"#enum={result.num_enumerations:>8}, "
-                  f"{result.elapsed * 1e3:7.1f}ms{status}")
+                  f"{result.enum_time * 1e3:7.1f}ms{status}")
+        # Lazy inspection: pull the first three concrete embeddings
+        # without finishing the search.
+        first = list(matcher.stream_plan(plan, limit=3))
+        print(f"{'':>16}  first embeddings: "
+              + "; ".join(str(list(m)) for m in first))
         print()
 
 

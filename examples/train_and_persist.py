@@ -4,43 +4,39 @@
 Shows the workflow the paper's Sec. III-F/IV-F recommends for production:
 fully train the ordering policy once on a cheap small-query set, persist
 it, then fine-tune it incrementally for a new (larger) query size at a
-fraction of the cost — and demonstrate save/load round-tripping of the
-trained model.
+fraction of the cost — and demonstrate save/load round-tripping through
+the facade: ``Matcher(data, orderer="rl", model=<dir>)`` loads the saved
+model exactly once at construction and then answers any number of
+queries against it.
 
 Usage::
 
     python examples/train_and_persist.py [model_dir]
+
+Set ``REPRO_EXAMPLES_EPOCHS`` to shrink the training budget (CI smoke).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import tempfile
 from pathlib import Path
 
 from repro import (
+    Matcher,
     RLQVOConfig,
     RLQVOTrainer,
     dataset_stats,
     load_dataset,
-    load_model,
     query_workload,
     save_model,
 )
-from repro.core.orderer import RLQVOOrderer
-from repro.matching import Enumerator, GQLFilter
 
 
-def evaluate(orderer, data, stats, queries, label: str) -> None:
-    gql = GQLFilter()
-    enumerator = Enumerator(match_limit=5_000, time_limit=2.0)
-    total = 0
-    for query in queries:
-        candidates = gql.filter(query, data, stats)
-        if candidates.has_empty():
-            continue
-        order = orderer.order(query, data, candidates, stats)
-        total += enumerator.run(query, data, candidates, order).num_enumerations
+def evaluate(matcher: Matcher, queries, label: str) -> None:
+    """Total #enum of a prepared matcher over the evaluation queries."""
+    total = sum(r.num_enumerations for r in matcher.match_many(queries))
     print(f"  {label}: total #enum on eval queries = {total}")
 
 
@@ -55,7 +51,7 @@ def main() -> None:
     target = query_workload(dataset, size=16, count=10, seed=3)
 
     config = RLQVOConfig(
-        epochs=8,
+        epochs=int(os.environ.get("REPRO_EXAMPLES_EPOCHS", 8)),
         incremental_epochs=3,
         hidden_dim=32,
         train_match_limit=2000,
@@ -64,11 +60,15 @@ def main() -> None:
     )
     trainer = RLQVOTrainer(data, config, stats=stats)
 
+    def trained_matcher() -> Matcher:
+        """Current policy behind a prepared facade (GQL + iterative)."""
+        return Matcher(data, filter="gql", orderer=trainer.make_orderer(),
+                       match_limit=5_000, time_limit=2.0, stats=stats)
+
     print(f"[1/4] pretraining on {small.name} ({len(small.train)} queries)")
     pre_history = trainer.train(list(small.train))
     print(f"      {pre_history.total_time:.1f}s")
-    evaluate(trainer.make_orderer(), data, stats, target.eval,
-             "pretrained-only on Q16")
+    evaluate(trained_matcher(), target.eval, "pretrained-only on Q16")
 
     print(f"[2/4] incremental fine-tune on {target.name} "
           f"({config.incremental_epochs} epochs)")
@@ -77,19 +77,20 @@ def main() -> None:
     )
     print(f"      {incr_history.total_time:.1f}s "
           f"(vs {pre_history.total_time:.1f}s pretraining)")
-    evaluate(trainer.make_orderer(), data, stats, target.eval,
-             "incrementally tuned on Q16")
+    evaluate(trained_matcher(), target.eval, "incrementally tuned on Q16")
 
     print(f"[3/4] saving model to {model_dir}")
     save_model(trainer.policy, model_dir)
 
     print("[4/4] loading model back and re-evaluating")
-    loaded = load_model(model_dir)
-    reloaded = RLQVOOrderer(loaded, trainer.feature_builder)
-    evaluate(reloaded, data, stats, target.eval, "reloaded model  on Q16")
+    # The facade loads the saved policy once, at construction; every
+    # query afterwards reuses the loaded model and the shared stats.
+    reloaded = Matcher(data, filter="gql", orderer="rl", model=model_dir,
+                       match_limit=5_000, time_limit=2.0, stats=stats)
+    evaluate(reloaded, target.eval, "reloaded model  on Q16")
 
     sample = target.eval[0]
-    assert reloaded.order(sample, data) == trainer.make_orderer().order(sample, data)
+    assert reloaded.plan(sample).order == trained_matcher().plan(sample).order
     print("\nreloaded model reproduces the trained model's orders exactly.")
 
 

@@ -7,6 +7,7 @@ procedure, a numpy autograd/GNN stack, a PPO trainer, synthetic datasets
 matched to the paper's Table II, and the full experiment harness.
 """
 
+from repro.api import Matcher, QueryPlan, available_components
 from repro.core import (
     FEATURE_DIM,
     FeatureBuilder,
@@ -42,6 +43,7 @@ from repro.matching import (
     MatchingContext,
     MatchingEngine,
     MatchResult,
+    MatchStream,
     Orderer,
     RIOrderer,
 )
@@ -59,9 +61,12 @@ __all__ = [
     "GraphStats",
     "IterativeEnumerator",
     "MatchResult",
+    "MatchStream",
+    "Matcher",
     "MatchingContext",
     "MatchingEngine",
     "Orderer",
+    "QueryPlan",
     "PolicyNetwork",
     "QueryWorkload",
     "RIOrderer",
@@ -70,6 +75,7 @@ __all__ = [
     "RLQVOTrainer",
     "ReproError",
     "TrainingHistory",
+    "available_components",
     "dataset_stats",
     "extract_query",
     "generate_query_set",

@@ -1,0 +1,73 @@
+"""repro.api — the documented entry point: prepare once, query many.
+
+The low-level pipeline (``GQLFilter`` + ``Orderer`` + ``Enumerator`` +
+``MatchingEngine``) recomputes data-graph-side state on every run.  This
+package wraps it in a service-shaped facade: a :class:`Matcher` binds one
+data graph — statistics, label/degree indices and (for the learned
+orderer) the trained model are loaded exactly once, at construction —
+and then answers any number of queries through four verbs:
+
+* :meth:`Matcher.plan` — Phases (1)–(2): a frozen, serializable
+  :class:`QueryPlan` (component names, matching order, candidate counts,
+  timings, static cost estimate, candidate-space footprint);
+* :meth:`Matcher.execute` — Phase (3) on a plan, a full ``MatchResult``;
+* :meth:`Matcher.match` / :meth:`Matcher.match_many` — both phases, one
+  query or a workload, bit-identical to ``MatchingEngine.run`` on match
+  sequences and ``#enum``;
+* :meth:`Matcher.stream` — lazy embeddings from the iterative engine,
+  stopping after ``limit`` matches without finishing the search.
+
+Components are chosen by plain strings through the
+:mod:`repro.api.registry` (``filter="gql"``, ``orderer="ri"``,
+``enumerator="iterative"``, ...), so configs and serialized plans carry
+names, not objects; instances are accepted anywhere a name is.
+
+Example
+-------
+>>> from repro import Matcher
+>>> from repro.graphs import erdos_renyi, extract_query
+>>> import numpy as np
+>>> data = erdos_renyi(200, 600, 3, seed=7)          # prepare once ...
+>>> matcher = Matcher(data, filter="gql", orderer="ri", time_limit=10.0)
+>>> queries = [extract_query(data, 5, np.random.default_rng(s)) for s in range(3)]
+>>> plan = matcher.plan(queries[0])                  # inspect the plan ...
+>>> len(plan.order) == queries[0].num_vertices
+True
+>>> result = matcher.execute(plan)                   # ... then execute it,
+>>> results = matcher.match_many(queries)            # batch a workload,
+>>> first = [m for m in matcher.stream(queries[0], limit=3)]  # or stream.
+>>> len(first) <= 3
+True
+"""
+
+from repro.api.matcher import Matcher
+from repro.api.plan import QueryPlan
+from repro.api.registry import (
+    ComponentRegistry,
+    available_components,
+    enumerator_registry,
+    filter_registry,
+    make_enumerator,
+    make_filter,
+    make_orderer,
+    orderer_registry,
+    register_enumerator,
+    register_filter,
+    register_orderer,
+)
+
+__all__ = [
+    "ComponentRegistry",
+    "Matcher",
+    "QueryPlan",
+    "available_components",
+    "enumerator_registry",
+    "filter_registry",
+    "make_enumerator",
+    "make_filter",
+    "make_orderer",
+    "orderer_registry",
+    "register_enumerator",
+    "register_filter",
+    "register_orderer",
+]

@@ -1,0 +1,344 @@
+"""The prepare-once / query-many :class:`Matcher` facade.
+
+``MatchingEngine`` composes the pipeline per *call*: every ``run`` is
+handed the data graph again and recomputes whatever data-graph-side
+state the components need.  A production deployment answers many queries
+against **one** large data graph, so :class:`Matcher` inverts the
+binding: the data graph, its :class:`~repro.graphs.stats.GraphStats`,
+the resolved components and (for the learned orderer) the loaded RL
+model are all fixed at construction, and every subsequent call pays only
+per-query work.
+
+The phase split is explicit: :meth:`Matcher.plan` runs Phases (1)–(2)
+and returns a frozen :class:`~repro.api.plan.QueryPlan`;
+:meth:`Matcher.execute` runs Phase (3) on a plan;
+:meth:`Matcher.match` composes both and is bit-identical to
+``MatchingEngine.run`` on match sequences and ``#enum``;
+:meth:`Matcher.match_many` batches a workload; :meth:`Matcher.stream`
+lazily yields embeddings and stops after ``limit`` matches without
+finishing the search.  Components are named by plain strings resolved
+through :mod:`repro.api.registry` (or passed as instances).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.api.plan import QueryPlan
+from repro.api.registry import (
+    make_enumerator,
+    make_filter,
+    make_orderer,
+    orderer_registry,
+)
+from repro.errors import ModelError, RegistryError
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.context import MatchingContext
+from repro.matching.cost import estimate_order_cost
+from repro.matching.engine import MatchResult
+from repro.matching.enumeration import (
+    DEFAULT_TIME_LIMIT,
+    EnumerationResult,
+    MatchStream,
+)
+
+__all__ = ["Matcher"]
+
+
+class Matcher:
+    """Prepare-once / query-many subgraph matcher over one data graph.
+
+    Parameters
+    ----------
+    data:
+        The data graph every query matches against.
+    filter / orderer / enumerator:
+        Registry names (see :func:`repro.api.registry.available_components`)
+        or already-constructed component instances.  All names are
+        validated here, at construction — an unknown name raises a
+        :class:`~repro.errors.RegistryError` listing the valid choices.
+        ``orderer="rl"`` (alias of ``"rlqvo"``) additionally needs
+        ``model=``.
+    match_limit / time_limit / record_matches / check_every:
+        Enumerator settings, forwarded to the enumerator factory when
+        ``enumerator`` is a name (an instance keeps its own settings).
+        Defaults mirror the paper's caps (10^5 matches, 500 s).
+    stats:
+        Precomputed :class:`GraphStats` of ``data`` to share across
+        matchers; computed here (once) when omitted.
+    model:
+        Trained model for the learned orderer: a saved-model directory
+        (as written by :func:`repro.core.save_model`), a
+        ``PolicyNetwork``, or a ready ``RLQVOOrderer``.
+    seed:
+        Seed forwarded to the learned orderer's sampling RNG.
+    """
+
+    def __init__(
+        self,
+        data: Graph,
+        filter="gql",
+        orderer="ri",
+        enumerator="iterative",
+        *,
+        match_limit: int | None = 100_000,
+        time_limit: float | None = DEFAULT_TIME_LIMIT,
+        record_matches: bool = False,
+        check_every: int = 2048,
+        stats: GraphStats | None = None,
+        model=None,
+        seed: int | None = None,
+    ):
+        self.data = data
+        # Amortized data-graph-side state: statistics are computed once
+        # here and shared by every plan/match call (and across matchers,
+        # when the caller passes them in).
+        self.stats = stats if stats is not None else GraphStats(data)
+        self.candidate_filter = make_filter(filter)
+        self.orderer = self._resolve_orderer(orderer, model, seed)
+        self.enumerator = make_enumerator(
+            enumerator,
+            match_limit=match_limit,
+            time_limit=time_limit,
+            record_matches=record_matches,
+            check_every=check_every,
+        )
+        self.filter_name = getattr(
+            self.candidate_filter, "name", type(self.candidate_filter).__name__
+        )
+        self.orderer_name = getattr(
+            self.orderer, "name", type(self.orderer).__name__
+        )
+        self.enumerator_name = self.enumerator.strategy
+
+    def _resolve_orderer(self, orderer, model, seed: int | None):
+        """Resolve the orderer spec, loading the RL model when needed."""
+        # Aliases resolve through the registry, so e.g. "rl" (or any
+        # future alias of the learned orderer) takes the model path.
+        if (
+            isinstance(orderer, str)
+            and orderer in orderer_registry
+            and orderer_registry.canonical(orderer) == "rlqvo"
+        ):
+            from repro.core.orderer import RLQVOOrderer
+
+            if isinstance(model, RLQVOOrderer):
+                if model.feature_builder.data is not self.data:
+                    raise ModelError(
+                        "the supplied RLQVOOrderer is bound to a different "
+                        "data graph"
+                    )
+                return model
+            if model is None:
+                raise RegistryError(
+                    "orderer 'rlqvo' needs a trained model: pass "
+                    "model=<saved-model dir | PolicyNetwork | RLQVOOrderer>"
+                )
+            policy = model
+            if isinstance(model, (str, os.PathLike)):
+                from repro.core.model_io import load_model
+
+                policy = load_model(model)
+            from repro.core.features import FeatureBuilder
+
+            builder = FeatureBuilder(self.data, policy.config, self.stats)
+            return make_orderer(
+                orderer, policy=policy, feature_builder=builder, seed=seed
+            )
+        if model is not None:
+            raise RegistryError(
+                "model= is only meaningful with orderer='rlqvo' (or 'rl')"
+            )
+        return make_orderer(orderer)
+
+    # ------------------------------------------------------------------
+    # Phases (1)-(2): planning
+    # ------------------------------------------------------------------
+    def plan(
+        self, query: Graph, rng: np.random.Generator | None = None
+    ) -> QueryPlan:
+        """Run filtering and ordering; return a frozen :class:`QueryPlan`.
+
+        Mirrors the engine's phase accounting exactly: the per-edge
+        candidate index is built here (billed to ``filter_time``) when
+        the enumerator consumes it, and a query with an empty candidate
+        set short-circuits to the identity order without billing the
+        ordering phase.
+        """
+        t0 = time.perf_counter()
+        candidates = self.candidate_filter.filter(query, self.data, self.stats)
+        context = MatchingContext(query, self.data, candidates, self.stats)
+        if candidates.has_empty():
+            # No embedding can exist; the identity order stands in for
+            # the never-computed φ, exactly as in MatchingEngine.run.
+            t1 = time.perf_counter()
+            return QueryPlan(
+                query=query,
+                order=tuple(range(query.num_vertices)),
+                candidate_counts=tuple(candidates.sizes()),
+                filter_name=self.filter_name,
+                orderer_name=self.orderer_name,
+                enumerator_name=self.enumerator_name,
+                filter_time=t1 - t0,
+                order_time=0.0,
+                build_time=t1 - t0,
+                estimated_cost=0.0,
+                candidate_space_bytes=0,
+                context=context,
+            )
+        if self.enumerator.needs_space:
+            # Phase (1) artifact: billed to filter_time, like the engine.
+            context.ensure_space()
+        t1 = time.perf_counter()
+        order = self.orderer.order_context(context, rng)
+        t2 = time.perf_counter()
+        estimated = estimate_order_cost(query, self.data, candidates, order)
+        space_bytes = context.space.memory_bytes() if context.has_space else 0
+        return QueryPlan(
+            query=query,
+            order=tuple(int(u) for u in order),
+            candidate_counts=tuple(candidates.sizes()),
+            filter_name=self.filter_name,
+            orderer_name=self.orderer_name,
+            enumerator_name=self.enumerator_name,
+            filter_time=t1 - t0,
+            order_time=t2 - t1,
+            build_time=time.perf_counter() - t0,
+            estimated_cost=estimated,
+            candidate_space_bytes=space_bytes,
+            context=context,
+        )
+
+    def replan(
+        self,
+        plan: QueryPlan,
+        orderer,
+        rng: np.random.Generator | None = None,
+    ) -> QueryPlan:
+        """Re-run Phase (2) on a plan's Phase (1) artifacts.
+
+        ``orderer`` is a registry name or instance.  The returned plan
+        shares the original's context (candidates and candidate space
+        are *not* rebuilt), records the new orderer's name, order timing
+        and cost estimate, and keeps the original filter timing — the
+        cheap way to compare orderings on one query.
+        """
+        orderer = make_orderer(orderer)
+        if not plan.matchable:
+            return plan
+        context = self._attached_context(plan)
+        t0 = time.perf_counter()
+        order = orderer.order_context(context, rng)
+        order_time = time.perf_counter() - t0
+        estimated = estimate_order_cost(
+            plan.query, self.data, context.candidates, order
+        )
+        return dataclasses.replace(
+            plan,
+            order=tuple(int(u) for u in order),
+            orderer_name=getattr(orderer, "name", type(orderer).__name__),
+            order_time=order_time,
+            estimated_cost=estimated,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase (3): execution
+    # ------------------------------------------------------------------
+    def _attached_context(self, plan: QueryPlan) -> MatchingContext:
+        """The plan's live context, rebuilding Phase (1) when detached."""
+        if plan.context is not None:
+            if plan.context.data is not self.data:
+                raise ModelError(
+                    "plan was built against a different data graph"
+                )
+            return plan.context
+        # Detached (deserialized) plan: rebuild the Phase (1) arrays with
+        # this matcher's filter.  Filtering is deterministic, so the
+        # rebuilt candidates — and everything downstream — are identical,
+        # but only if this matcher runs the *same* filter the plan
+        # recorded; silently substituting another would break the plan's
+        # counts, matchable flag and bit-identity guarantee.
+        if plan.filter_name != self.filter_name:
+            raise ModelError(
+                f"detached plan was built by filter {plan.filter_name!r}; "
+                f"this matcher runs {self.filter_name!r} — re-plan the "
+                "query or execute with a matching matcher"
+            )
+        candidates = self.candidate_filter.filter(
+            plan.query, self.data, self.stats
+        )
+        return MatchingContext(plan.query, self.data, candidates, self.stats)
+
+    def execute(self, plan: QueryPlan) -> MatchResult:
+        """Run the enumeration phase of a plan; a full :class:`MatchResult`.
+
+        The result's filter/order timings are the ones recorded on the
+        plan, so repeated executions of one plan keep reporting the true
+        (once-paid) planning cost.
+        """
+        context = self._attached_context(plan)
+        if context.candidates.has_empty():
+            empty = EnumerationResult(0, 0, 0.0, False, False, ())
+            return MatchResult(plan.order, empty, plan.filter_time, plan.order_time)
+        enumeration = self.enumerator.run_context(context, plan.order)
+        return MatchResult(plan.order, enumeration, plan.filter_time, plan.order_time)
+
+    def match(
+        self, query: Graph, rng: np.random.Generator | None = None
+    ) -> MatchResult:
+        """Full pipeline on one query: :meth:`plan` then :meth:`execute`."""
+        return self.execute(self.plan(query, rng))
+
+    def match_many(
+        self,
+        queries: Iterable[Graph],
+        rng: np.random.Generator | None = None,
+    ) -> list[MatchResult]:
+        """Answer a workload, reusing this matcher's prepared state.
+
+        Data-graph-side setup (stats, label indices, loaded model) was
+        paid at construction; each query here pays only its own
+        filter/order/enumerate work.  Results are ordered like the
+        input.
+        """
+        return [self.match(query, rng) for query in queries]
+
+    def stream(
+        self,
+        query: Graph,
+        limit: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> MatchStream:
+        """Lazily yield embeddings of ``query``, stopping after ``limit``.
+
+        Plans the query, then returns a
+        :class:`~repro.matching.enumeration.MatchStream` over the
+        iterative engine: embeddings arrive one at a time (tuples
+        indexed by query vertex), the search suspends between matches,
+        and ``limit=k`` stops after the k-th match without completing
+        the search — with ``#enum`` identical to a batch run under
+        ``match_limit=k``.  ``limit=None`` streams under the
+        enumerator's own match limit; the enumerator's time budget
+        applies from stream creation.
+        """
+        return self.stream_plan(self.plan(query, rng), limit=limit)
+
+    def stream_plan(self, plan: QueryPlan, limit: int | None = None) -> MatchStream:
+        """:meth:`stream` over an already-built plan."""
+        context = self._attached_context(plan)
+        if context.candidates.has_empty():
+            return MatchStream.empty(context)
+        match_limit = self.enumerator.match_limit if limit is None else limit
+        return self.enumerator.stream_context(context, plan.order, match_limit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Matcher(data={self.data!r}, filter={self.filter_name!r}, "
+            f"orderer={self.orderer_name!r}, enumerator={self.enumerator_name!r})"
+        )

@@ -1,0 +1,195 @@
+"""Frozen, inspectable query plans — the Phase (1)+(2) product.
+
+A :class:`QueryPlan` is what :meth:`repro.api.matcher.Matcher.plan`
+returns: everything Algorithm 1 decides *before* enumeration, frozen
+into one object.  It records the component names that produced it, the
+matching order φ, per-vertex candidate counts, per-phase timings, the
+static cost estimate of :mod:`repro.matching.cost`, and the footprint of
+the flat per-edge candidate index — plus a live
+:class:`~repro.matching.context.MatchingContext` handle carrying the
+actual Phase (1) arrays so :meth:`Matcher.execute` can run Phase (3)
+without recomputing anything.
+
+Plans serialize: :meth:`QueryPlan.to_dict` emits a JSON-compatible
+payload (the query travels as labels + edge list; the context handle
+does not travel), and :meth:`QueryPlan.from_dict` round-trips it into a
+*detached* plan — same order, counts, names and measurements, but
+``context=None``.  Executing a detached plan makes the matcher rebuild
+Phase (1) from the recorded filter; everything downstream of the
+(deterministic) filter is bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+from repro.matching.context import MatchingContext
+from repro.matching.cost import estimate_order_cost
+
+__all__ = ["QueryPlan"]
+
+#: Schema tag for serialized plans, bumped on incompatible layout changes.
+PLAN_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Frozen product of the filtering and ordering phases for one query.
+
+    Attributes
+    ----------
+    query:
+        The query graph the plan was built for.
+    order:
+        The matching order φ (a permutation of ``V(q)``).
+    candidate_counts:
+        ``|C(u)|`` per query vertex, indexed by vertex id.
+    filter_name / orderer_name / enumerator_name:
+        Registry names of the components that built (and will execute)
+        the plan — plain strings, so plans serialize without pickling.
+    filter_time / order_time:
+        Phase (1) / Phase (2) wall-clock seconds (the candidate-space
+        build is billed to ``filter_time``, as in the engine).
+    build_time:
+        Total wall clock spent inside :meth:`Matcher.plan`, including
+        the cost estimate — what a planner-level cache would save.
+    estimated_cost:
+        Static left-deep estimate of the search-tree size along
+        ``order`` (:func:`repro.matching.cost.estimate_order_cost`);
+        ``nan`` for plans with a manually substituted order.
+    candidate_space_bytes:
+        Footprint of the flat per-edge candidate index built for the
+        enumerator (0 when the engine does not need the index).
+    context:
+        Live Phase (1) artifacts; ``None`` on deserialized plans.
+    """
+
+    query: Graph
+    order: tuple[int, ...]
+    candidate_counts: tuple[int, ...]
+    filter_name: str
+    orderer_name: str
+    enumerator_name: str
+    filter_time: float
+    order_time: float
+    build_time: float
+    estimated_cost: float
+    candidate_space_bytes: int
+    context: MatchingContext | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def num_query_vertices(self) -> int:
+        """``|V(q)|``."""
+        return len(self.candidate_counts)
+
+    @property
+    def matchable(self) -> bool:
+        """False when some candidate set is empty: no embedding exists."""
+        return all(count > 0 for count in self.candidate_counts)
+
+    @property
+    def attached(self) -> bool:
+        """Whether the plan still carries live Phase (1) artifacts."""
+        return self.context is not None
+
+    def with_order(self, order, estimate: bool = False) -> "QueryPlan":
+        """A plan copy with ``order`` substituted (Phase (1) shared).
+
+        The returned plan keeps this plan's context, counts and filter
+        timing but reports ``order_time`` 0.0 and ``orderer_name``
+        ``"manual"``; the order itself is validated at execution time.
+        ``estimate=True`` recomputes the static cost for the new order
+        (needs an attached context); the default leaves it ``nan`` so
+        hot loops substituting many orders (e.g. RL reward rollouts)
+        skip the estimator.
+        """
+        order = tuple(int(u) for u in order)
+        cost = float("nan")
+        if estimate:
+            if self.context is None:
+                raise ReproError(
+                    "with_order(estimate=True) needs an attached context"
+                )
+            cost = estimate_order_cost(
+                self.context.query,
+                self.context.data,
+                self.context.candidates,
+                order,
+            )
+        return replace(
+            self,
+            order=order,
+            orderer_name="manual",
+            order_time=0.0,
+            estimated_cost=cost,
+        )
+
+    def release_space(self) -> None:
+        """Drop the context's candidate space (rebuilds on next access).
+
+        Long-lived plan caches (e.g. the trainer's per-query plans) call
+        this between bursts of enumerations so at most one instance's
+        dense index is resident; detached plans are a no-op.
+        """
+        if self.context is not None:
+            self.context.release_space()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible payload (the live context does not travel)."""
+        return {
+            "version": PLAN_SCHEMA_VERSION,
+            "query": {
+                "labels": [int(l) for l in self.query.labels],
+                "edges": [[int(a), int(b)] for a, b in self.query.edges()],
+            },
+            "order": list(self.order),
+            "candidate_counts": list(self.candidate_counts),
+            "filter": self.filter_name,
+            "orderer": self.orderer_name,
+            "enumerator": self.enumerator_name,
+            "filter_time": self.filter_time,
+            "order_time": self.order_time,
+            "build_time": self.build_time,
+            "estimated_cost": self.estimated_cost,
+            "candidate_space_bytes": self.candidate_space_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryPlan":
+        """Rebuild a (detached) plan from :meth:`to_dict` output."""
+        try:
+            version = payload["version"]
+            if version != PLAN_SCHEMA_VERSION:
+                raise ReproError(
+                    f"unsupported plan schema version {version!r} "
+                    f"(this library writes {PLAN_SCHEMA_VERSION})"
+                )
+            query = Graph(
+                payload["query"]["labels"],
+                [(int(a), int(b)) for a, b in payload["query"]["edges"]],
+            )
+            return cls(
+                query=query,
+                order=tuple(int(u) for u in payload["order"]),
+                candidate_counts=tuple(
+                    int(c) for c in payload["candidate_counts"]
+                ),
+                filter_name=payload["filter"],
+                orderer_name=payload["orderer"],
+                enumerator_name=payload["enumerator"],
+                filter_time=float(payload["filter_time"]),
+                order_time=float(payload["order_time"]),
+                build_time=float(payload["build_time"]),
+                estimated_cost=float(payload["estimated_cost"]),
+                candidate_space_bytes=int(payload["candidate_space_bytes"]),
+                context=None,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ReproError(f"malformed query-plan payload: {exc}") from exc

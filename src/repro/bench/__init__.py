@@ -8,6 +8,7 @@ from repro.bench.harness import (
     Harness,
     QueryOutcome,
     method_engine,
+    method_matcher,
 )
 from repro.bench.profiling import QueryProfile, profile_query, profile_workload
 from repro.bench.reporting import (
@@ -30,6 +31,7 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "method_engine",
+    "method_matcher",
     "percentile_series",
     "print_table",
     "profile_query",

@@ -14,6 +14,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.api.matcher import Matcher
 from repro.bench.harness import FIG3_METHODS, BenchSettings, Harness, QueryOutcome
 from repro.bench.reporting import (
     format_seconds,
@@ -23,7 +24,6 @@ from repro.bench.reporting import (
 )
 from repro.core.trainer import RLQVOTrainer
 from repro.datasets.registry import DATASETS, dataset_stats, load_dataset
-from repro.matching.context import MatchingContext
 from repro.matching.enumeration import Enumerator
 from repro.matching.filters import GQLFilter
 from repro.matching.ordering import OptimalOrderer, RIOrderer
@@ -258,26 +258,28 @@ def fig6(
             max_permutations=max_permutations,
             seed_orderers=[hybrid, rlqvo],
         )
-        gql_filter = GQLFilter()
+        # One prepared matcher (GQL filter + optimal sweep) per dataset;
+        # per query, the compared orderers re-plan over the *same*
+        # Phase (1) artifacts, so all three runs share one candidate space.
+        matcher = Matcher(
+            data, filter=GQLFilter(), orderer=optimal,
+            enumerator=enumerator, stats=stats,
+        )
 
         per_query = []
         for query in queries:
-            candidates = gql_filter.filter(query, data, stats)
-            if candidates.has_empty():
+            plan = matcher.plan(query)
+            if not plan.matchable:
                 continue
-            # One context per query: the optimal sweep, both compared
-            # orders and the measurement runs share one candidate space.
-            context = MatchingContext(query, data, candidates, stats)
             entry = {}
-            for name, orderer in (
-                ("opt", optimal),
-                ("rlqvo", rlqvo),
-                ("hybrid", hybrid),
+            for name, query_plan in (
+                ("opt", plan),
+                ("rlqvo", matcher.replan(plan, rlqvo)),
+                ("hybrid", matcher.replan(plan, hybrid)),
             ):
-                order = orderer.order_context(context)
-                run = enumerator.run_context(context, order)
+                run = matcher.execute(query_plan)
                 entry[name] = {
-                    "enum_time": run.elapsed,
+                    "enum_time": run.enum_time,
                     "num_enumerations": run.num_enumerations,
                 }
             per_query.append(entry)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.matcher import Matcher
 from repro.core.config import RLQVOConfig
 from repro.core.orderer import RLQVOOrderer
 from repro.core.trainer import RLQVOTrainer, TrainingHistory
@@ -53,7 +54,14 @@ from repro.matching.ordering import (
     VF2PPOrderer,
 )
 
-__all__ = ["BenchSettings", "QueryOutcome", "Harness", "METHODS", "method_engine"]
+__all__ = [
+    "BenchSettings",
+    "QueryOutcome",
+    "Harness",
+    "METHODS",
+    "method_engine",
+    "method_matcher",
+]
 
 #: Baseline method registry: name -> (filter factory, orderer factory).
 METHODS: dict[str, tuple[type[CandidateFilter], type[Orderer]]] = {
@@ -95,6 +103,16 @@ class BenchSettings:
     #: "recursive"); the recursive oracle is exposed so regressions can be
     #: bisected to the engine.
     enum_strategy: str = "iterative"
+
+    def __post_init__(self) -> None:
+        """Fail fast on a bad engine name (e.g. a typo'd env override)."""
+        from repro.matching.enumeration import ENUMERATION_STRATEGIES
+
+        if self.enum_strategy not in ENUMERATION_STRATEGIES:
+            raise DatasetError(
+                f"unknown enum_strategy {self.enum_strategy!r}; "
+                f"options: {ENUMERATION_STRATEGIES}"
+            )
 
     @staticmethod
     def from_env() -> "BenchSettings":
@@ -158,14 +176,44 @@ def method_engine(
 
     ``rlqvo`` needs its trained ``orderer`` passed explicitly.
     """
+    candidate_filter, resolved_orderer = _method_components(method, orderer)
+    return MatchingEngine(candidate_filter, resolved_orderer, enumerator)
+
+
+def method_matcher(
+    method: str,
+    data: Graph,
+    enumerator: Enumerator,
+    orderer: Orderer | None = None,
+    stats=None,
+) -> Matcher:
+    """Prepare-once facade for a registry method over one data graph.
+
+    The :class:`~repro.api.matcher.Matcher` equivalent of
+    :func:`method_engine`: the returned matcher has all data-graph-side
+    state (stats, components, the trained ``rlqvo`` orderer) bound at
+    construction, so a whole workload can be answered against it.
+    """
+    candidate_filter, resolved_orderer = _method_components(method, orderer)
+    return Matcher(
+        data, filter=candidate_filter, orderer=resolved_orderer,
+        enumerator=enumerator, stats=stats,
+    )
+
+
+def _method_components(
+    method: str, orderer: Orderer | None
+) -> tuple[CandidateFilter, Orderer]:
+    """Resolve a method name to (filter, orderer) instances — the single
+    dispatch shared by :func:`method_engine` and :func:`method_matcher`."""
     if method == "rlqvo":
         if orderer is None:
-            raise DatasetError("rlqvo engine needs a trained orderer")
-        return MatchingEngine(GQLFilter(), orderer, enumerator)
+            raise DatasetError("method 'rlqvo' needs a trained orderer")
+        return GQLFilter(), orderer
     if method not in METHODS:
         raise DatasetError(f"unknown method {method!r}; options: {sorted(METHODS)}")
     filter_cls, orderer_cls = METHODS[method]
-    return MatchingEngine(filter_cls(), orderer_cls(), enumerator)
+    return filter_cls(), orderer_cls()
 
 
 class Harness:
@@ -249,14 +297,17 @@ class Harness:
             record_matches=False,
             strategy=self.settings.enum_strategy,
         )
-        engine = method_engine(method, enumerator, orderer)
         data = load_dataset(dataset)
         stats = dataset_stats(dataset)
+        # One prepared matcher answers the whole workload: dataset stats
+        # and the method's components are bound once, per Algorithm 1's
+        # prepare-once/query-many deployment shape.
+        matcher = method_matcher(method, data, enumerator, orderer, stats)
         rng = np.random.default_rng(self.settings.seed + 1)
 
         outcomes = []
         for index, query in enumerate(queries):
-            result = engine.run(query, data, stats, rng)
+            result = matcher.match(query, rng)
             outcomes.append(
                 self._outcome(method, dataset, size, index, result)
             )

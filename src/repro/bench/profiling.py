@@ -11,10 +11,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.api.matcher import Matcher
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
 from repro.matching.candidates import CandidateFilter
-from repro.matching.context import MatchingContext
 from repro.matching.cost import estimate_order_cost
 from repro.matching.enumeration import Enumerator
 from repro.matching.filters.gql import GQLFilter
@@ -69,31 +69,43 @@ def profile_query(
     if enum_strategy is None:
         enum_strategy = os.environ.get("REPRO_BENCH_ENUM_STRATEGY", "iterative")
     candidate_filter = candidate_filter if candidate_filter is not None else GQLFilter()
-    candidates = candidate_filter.filter(query, data, stats)
-    sizes = tuple(candidates.sizes())
-
-    reference_order = (
-        RIOrderer().order(query, data, candidates, stats)
-        if query.num_vertices
-        else []
-    )
-    estimated = estimate_order_cost(query, data, candidates, reference_order)
 
     measured: dict[str, int] = {}
     space_bytes = 0
-    if measure and not candidates.has_empty():
-        # One shared context: the per-edge index is built once and reused
-        # by every measurement run, exactly like the engine pipeline.
-        context = MatchingContext(query, data, candidates, stats)
-        enumerator = Enumerator(
-            match_limit=match_limit, time_limit=time_limit, strategy=enum_strategy
+    if measure and query.num_vertices:
+        # Facade path: one plan carries the candidate counts, the RI
+        # reference order, the cost estimate and the candidate-space
+        # footprint; the other measurement orders re-plan over the same
+        # Phase (1) artifacts, exactly like the engine pipeline.
+        matcher = Matcher(
+            data,
+            filter=candidate_filter,
+            orderer="ri",
+            enumerator=Enumerator(
+                match_limit=match_limit,
+                time_limit=time_limit,
+                strategy=enum_strategy,
+            ),
+            stats=stats,
         )
-        for orderer in (RIOrderer(), GQLOrderer(), RandomOrderer(seed=0)):
-            order = orderer.order_context(context)
-            run = enumerator.run_context(context, order)
-            measured[orderer.name] = run.num_enumerations
-        if context.has_space:
-            space_bytes = context.space.memory_bytes()
+        plan = matcher.plan(query)
+        sizes = plan.candidate_counts
+        estimated = plan.estimated_cost
+        if plan.matchable:
+            measured["ri"] = matcher.execute(plan).num_enumerations
+            for orderer in (GQLOrderer(), RandomOrderer(seed=0)):
+                replan = matcher.replan(plan, orderer)
+                measured[orderer.name] = matcher.execute(replan).num_enumerations
+            space_bytes = plan.candidate_space_bytes
+    else:
+        candidates = candidate_filter.filter(query, data, stats)
+        sizes = tuple(candidates.sizes())
+        reference_order = (
+            RIOrderer().order(query, data, candidates, stats)
+            if query.num_vertices
+            else []
+        )
+        estimated = estimate_order_cost(query, data, candidates, reference_order)
 
     return QueryProfile(
         num_vertices=query.num_vertices,

@@ -12,6 +12,14 @@ Per epoch:
 :meth:`RLQVOTrainer.incremental_train` implements Sec. III-F: full
 training on a cheaper query set, then a few fine-tuning epochs on the
 target set — the configuration the paper's headline numbers use.
+
+Reward rollouts ride the :class:`repro.api.matcher.Matcher` facade: the
+trainer owns one matcher (filter + RI baseline orderer + the training
+enumerator, data-side stats paid once) and caches one
+:class:`~repro.api.plan.QueryPlan` per training query.  Each rollout's
+sampled order is substituted into the cached plan
+(:meth:`QueryPlan.with_order`) and executed, so the per-edge candidate
+space is built once per query, not once per rollout.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.matcher import Matcher
+from repro.api.plan import QueryPlan
 from repro.core.config import RLQVOConfig
 from repro.core.features import FeatureBuilder
 from repro.core.orderer import RLQVOOrderer
@@ -29,7 +39,6 @@ from repro.errors import TrainingError
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
 from repro.matching.candidates import CandidateFilter
-from repro.matching.context import MatchingContext
 from repro.matching.enumeration import Enumerator
 from repro.matching.filters.gql import GQLFilter
 from repro.matching.ordering.ri import RIOrderer
@@ -120,41 +129,48 @@ class RLQVOTrainer:
             record_matches=False,
             strategy=self.config.enum_strategy,
         )
+        # One facade instance for all reward rollouts: data-graph-side
+        # state (stats, filter, baseline orderer, enumerator) is bound
+        # exactly once here.
+        self._matcher = Matcher(
+            self.data,
+            filter=self.candidate_filter,
+            orderer=self.baseline_orderer,
+            enumerator=self._enumerator,
+            stats=self.stats,
+        )
         # Per-query caches (keyed by object identity; query sets are reused
-        # across epochs).  The MatchingContext carries the candidate sets
-        # and the shared CandidateSpace, so every reward rollout of a query
-        # reuses one per-edge index instead of rebuilding it.
-        self._match_contexts: dict[int, MatchingContext] = {}
+        # across epochs).  The QueryPlan carries the candidate sets, the
+        # baseline (RI) order and the shared CandidateSpace, so every
+        # reward rollout of a query reuses one per-edge index instead of
+        # rebuilding it.
+        self._plans: dict[int, QueryPlan] = {}
         self._baseline_enum: dict[int, int | None] = {}
         self._contexts: dict[int, GraphContext] = {}
 
     # ------------------------------------------------------------------
     # Caches
     # ------------------------------------------------------------------
-    def _prepare(self, query: Graph) -> tuple[MatchingContext, int | None, GraphContext]:
+    def _prepare(self, query: Graph) -> tuple[QueryPlan, int | None, GraphContext]:
         key = id(query)
-        if key not in self._match_contexts:
-            candidates = self.candidate_filter.filter(query, self.data, self.stats)
-            match_ctx = MatchingContext(query, self.data, candidates, self.stats)
-            self._match_contexts[key] = match_ctx
+        if key not in self._plans:
+            plan = self._matcher.plan(query)
+            self._plans[key] = plan
             self._contexts[key] = GraphContext.from_graph(query)
-            if candidates.has_empty():
+            if not plan.matchable:
                 self._baseline_enum[key] = 0
             else:
-                base_order = self.baseline_orderer.order(
-                    query, self.data, candidates, self.stats
-                )
-                base = self._enumerator.run_context(match_ctx, base_order)
+                base = self._matcher.execute(plan)
                 # A timed-out baseline makes Δ#enum meaningless; mark the
                 # query as unusable for reward computation and drop the
                 # space the baseline run built — no rollout will ever
                 # reach this query's release point.
-                if base.timed_out:
+                if not base.solved:
                     self._baseline_enum[key] = None
-                    match_ctx.release_space()
+                    plan.release_space()
                 else:
                     self._baseline_enum[key] = base.num_enumerations
-        return self._match_contexts[key], self._baseline_enum[key], self._contexts[key]
+        return self._plans[key], self._baseline_enum[key], self._contexts[key]
 
     # ------------------------------------------------------------------
     # Training
@@ -184,8 +200,8 @@ class RLQVOTrainer:
             skipped = 0
 
             for query in queries:
-                match_ctx, baseline, ctx = self._prepare(query)
-                if baseline is None or match_ctx.candidates.has_empty():
+                plan, baseline, ctx = self._prepare(query)
+                if baseline is None or not plan.matchable:
                     skipped += 1
                     continue
                 used_any = False
@@ -193,8 +209,8 @@ class RLQVOTrainer:
                     trajectory = collect_trajectory(
                         sampling_policy, query, self.feature_builder, self._rng, ctx
                     )
-                    run = self._enumerator.run_context(match_ctx, trajectory.order)
-                    if run.timed_out:
+                    run = self._matcher.execute(plan.with_order(trajectory.order))
+                    if not run.solved:
                         continue  # Sec. IV-A: skip over-limit rollouts
                     used_any = True
                     renum = enumeration_reward(
@@ -216,12 +232,12 @@ class RLQVOTrainer:
                     enum_rewards.append(renum)
                     enum_learned_all.append(run.num_enumerations)
                     enum_base_all.append(baseline)
-                # The per-query context is cached for the whole training
+                # The per-query plan is cached for the whole training
                 # run, but its candidate space (dense position maps + flat
                 # buffers) is only needed while this query's rollouts run:
                 # release it so at most one instance's space is resident,
                 # like the old bounded enumerator cache.
-                match_ctx.release_space()
+                plan.release_space()
                 if not used_any:
                     skipped += 1
 
@@ -265,13 +281,13 @@ class RLQVOTrainer:
         orderer = self.make_orderer()
         total = 0
         for query in queries:
-            match_ctx, baseline, _ = self._prepare(query)
-            if baseline is None or match_ctx.candidates.has_empty():
+            plan, baseline, _ = self._prepare(query)
+            if baseline is None or not plan.matchable:
                 continue
-            order = orderer.order_context(match_ctx)
-            run = self._enumerator.run_context(match_ctx, order)
+            order = orderer.order_context(plan.context)
+            run = self._matcher.execute(plan.with_order(order))
             total += run.num_enumerations
-            match_ctx.release_space()
+            plan.release_space()
         self.policy.train()  # make_orderer switched the policy to eval
         return total
 

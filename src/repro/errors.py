@@ -42,3 +42,7 @@ class TrainingError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset or workload could not be constructed or located."""
+
+
+class RegistryError(ReproError):
+    """A component name is unknown to (or clashes in) a registry."""

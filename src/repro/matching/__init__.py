@@ -28,6 +28,7 @@ from repro.matching.enumeration import (
     EnumerationResult,
     Enumerator,
     IterativeEnumerator,
+    MatchStream,
 )
 from repro.matching.enumeration_iter import intersect_sorted
 from repro.matching.filters import (
@@ -70,6 +71,7 @@ __all__ = [
     "GQLOrderer",
     "LDFFilter",
     "MatchResult",
+    "MatchStream",
     "MatchingContext",
     "MatchingEngine",
     "NLFFilter",

@@ -53,7 +53,11 @@ from repro.graphs.graph import Graph
 from repro.graphs.validation import check_order
 from repro.matching.candidates import CandidateSets
 from repro.matching.context import MatchingContext
-from repro.matching.enumeration_iter import enumerate_iterative
+from repro.matching.enumeration_iter import (
+    EnumerationCounters,
+    enumerate_iterative,
+    enumerate_lazy,
+)
 
 __all__ = [
     "DEFAULT_TIME_LIMIT",
@@ -61,6 +65,7 @@ __all__ = [
     "EnumerationResult",
     "Enumerator",
     "IterativeEnumerator",
+    "MatchStream",
 ]
 
 #: The paper's per-query wall-clock cap (Sec. IV-A): runs that exceed it
@@ -108,6 +113,139 @@ class EnumerationResult:
 
 class _Stop(Exception):
     """Internal: unwinds the recursion when a limit or deadline fires."""
+
+
+class MatchStream:
+    """Lazy embedding stream over the iterative engine.
+
+    Iterating yields embeddings one at a time, as tuples indexed by query
+    vertex (``m[u]`` is the image of ``u``) — the same tuples, in the
+    same sequence, that a batch run with ``record_matches=True`` would
+    collect.  The search state lives in a suspended generator frame, so a
+    consumer that stops after ``k`` matches pays only the enumeration
+    explored up to the ``k``-th match; with ``match_limit=k`` the stream
+    stops itself after the ``k``-th yield, bit-identical in ``#enum`` to
+    a batch run under the same limit.
+
+    Progress counters (:attr:`num_matches`, :attr:`num_enumerations`,
+    :attr:`timed_out`, :attr:`limit_reached`, :attr:`elapsed`) are live
+    after every yield; :meth:`result` packages them as an
+    :class:`EnumerationResult` once the stream is finished (exhausted,
+    limited, timed out or explicitly :meth:`close`-d).  The wall-clock
+    deadline is absolute, so time the consumer spends between pulls
+    counts against it — a streaming budget, not a pure-search budget.
+    """
+
+    def __init__(
+        self,
+        context: MatchingContext,
+        order: list[int],
+        backward: list[list[int]],
+        match_limit: int | None,
+        time_limit: float | None,
+        check_every: int,
+    ):
+        self._match_limit = match_limit
+        self._start = time.perf_counter()
+        self._elapsed = 0.0
+        self._counters = EnumerationCounters()
+        self._found = 0
+        self._limit_reached = False
+        self._finished = False
+        if not order:
+            # The empty query has exactly one (empty) embedding; mirror
+            # the batch engine's num_enumerations == 1 accounting.
+            self._gen = iter(((),))
+            self._counters.num_enumerations = 1
+        else:
+            deadline = self._start + time_limit if time_limit is not None else None
+            self._gen = enumerate_lazy(
+                context, order, backward, deadline, check_every, self._counters
+            )
+
+    @classmethod
+    def empty(cls, context: MatchingContext) -> "MatchStream":
+        """An already-finished stream for unmatchable queries.
+
+        Mirrors the engine's empty-candidate short-circuit: the search
+        never starts, so the stream yields nothing and reports zero
+        enumerations.
+        """
+        stream = cls(context, [], [], None, None, 1)
+        stream._counters.num_enumerations = 0
+        stream._finish()
+        return stream
+
+    def __iter__(self) -> "MatchStream":
+        return self
+
+    def __next__(self) -> tuple[int, ...]:
+        if self._finished:
+            raise StopIteration
+        try:
+            match = next(self._gen)
+        except StopIteration:
+            self._finish()
+            raise
+        self._found += 1
+        self._elapsed = time.perf_counter() - self._start
+        if self._match_limit is not None and self._found >= self._match_limit:
+            self._limit_reached = True
+            self._finish()
+        return match
+
+    def _finish(self) -> None:
+        if not self._finished:
+            self._finished = True
+            self._elapsed = time.perf_counter() - self._start
+            close = getattr(self._gen, "close", None)
+            if close is not None:
+                close()
+
+    def close(self) -> None:
+        """Stop the search early and release the generator frame."""
+        self._finish()
+
+    @property
+    def num_matches(self) -> int:
+        """Embeddings yielded so far."""
+        return self._found
+
+    @property
+    def num_enumerations(self) -> int:
+        """``#enum`` explored up to the last yield (Def. II.6)."""
+        return self._counters.num_enumerations
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the wall-clock deadline fired during the search."""
+        return self._counters.timed_out
+
+    @property
+    def limit_reached(self) -> bool:
+        """Whether the match limit stopped the stream."""
+        return self._limit_reached
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the stream is finished (by any cause)."""
+        return self._finished
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds from stream creation to the last pull."""
+        return self._elapsed
+
+    def result(self) -> EnumerationResult:
+        """The stream's outcome as a batch-shaped result (no matches
+        payload — the consumer already received them one by one)."""
+        return EnumerationResult(
+            num_matches=self._found,
+            num_enumerations=self._counters.num_enumerations,
+            elapsed=self._elapsed,
+            timed_out=self._counters.timed_out,
+            limit_reached=self._limit_reached,
+        )
 
 
 class Enumerator:
@@ -188,33 +326,69 @@ class Enumerator:
             raise EnumerationError("candidate sets do not cover the query")
         return self.run_context(MatchingContext(query, data, candidates), order)
 
-    def run_context(
-        self, context: MatchingContext, order: Sequence[int]
-    ) -> EnumerationResult:
-        """Enumerate along ``order`` using shared Phase (1) artifacts."""
+    @staticmethod
+    def _prepare_order(
+        context: MatchingContext, order: Sequence[int]
+    ) -> tuple[list[int], list[list[int]]]:
+        """Validate ``order`` and compute backward neighbours by position."""
         query = context.query
         order = [int(u) for u in order]
         check_order(query, order, connected=False)
-
-        n = query.num_vertices
-        start_time = time.perf_counter()
-        if n == 0:
-            # The empty query has exactly one (empty) embedding; like any
-            # other run, it is materialized only on request.
-            matches = ((),) if self.record_matches else ()
-            return EnumerationResult(1, 1, 0.0, False, False, matches)
-
         position = {u: i for i, u in enumerate(order)}
-        # Backward neighbours by *position* in the order.
         backward: list[list[int]] = []
         for i, u in enumerate(order):
             backward.append(
                 sorted(position[int(v)] for v in query.neighbors(u) if position[int(v)] < i)
             )
+        return order, backward
+
+    def run_context(
+        self, context: MatchingContext, order: Sequence[int]
+    ) -> EnumerationResult:
+        """Enumerate along ``order`` using shared Phase (1) artifacts."""
+        start_time = time.perf_counter()
+        order, backward = self._prepare_order(context, order)
+        if not order:
+            # The empty query has exactly one (empty) embedding; like any
+            # other run, it is materialized only on request.
+            matches = ((),) if self.record_matches else ()
+            return EnumerationResult(1, 1, 0.0, False, False, matches)
 
         if self.strategy == "iterative":
             return self._run_iterative(context, order, backward, start_time)
         return self._run_recursive(context, order, backward, start_time)
+
+    def stream_context(
+        self,
+        context: MatchingContext,
+        order: Sequence[int],
+        match_limit: int | None = "default",
+    ) -> MatchStream:
+        """Lazily enumerate along ``order``: a :class:`MatchStream`.
+
+        The stream yields embeddings in exactly the sequence a batch
+        :meth:`run_context` with ``record_matches=True`` would collect,
+        driving the same DFS core, but suspends between matches — so a
+        consumer that stops after ``k`` matches never pays for the rest
+        of the search.  ``match_limit`` overrides the enumerator's own
+        limit for this stream (pass ``None`` for find-all); the
+        enumerator's ``time_limit`` applies as an absolute wall-clock
+        deadline from stream creation.  Only the iterative engine can
+        suspend; the recursive oracle raises.
+        """
+        if self.strategy != "iterative":
+            raise EnumerationError(
+                "streaming needs the iterative engine; "
+                f"this enumerator uses strategy={self.strategy!r}"
+            )
+        if match_limit == "default":
+            match_limit = self.match_limit
+        if match_limit is not None and match_limit < 1:
+            raise EnumerationError("match_limit must be >= 1 or None")
+        order, backward = self._prepare_order(context, order)
+        return MatchStream(
+            context, order, backward, match_limit, self.time_limit, self.check_every
+        )
 
     # ------------------------------------------------------------------
     # Iterative engine (default)

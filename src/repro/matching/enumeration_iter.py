@@ -26,13 +26,13 @@ what lets the recursive engine serve as a differential-testing oracle.
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from repro.matching.context import MatchingContext
 
-__all__ = ["intersect_sorted", "enumerate_iterative"]
+__all__ = ["EnumerationCounters", "intersect_sorted", "enumerate_iterative", "enumerate_lazy"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 _EMPTY.setflags(write=False)
@@ -60,6 +60,63 @@ def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.intersect1d(a, b, assume_unique=True)
 
 
+def _bind_depths(
+    context: MatchingContext,
+    order: Sequence[int],
+    backward: Sequence[Sequence[int]],
+) -> tuple[list[np.ndarray], list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]]]:
+    """Pre-bind, per depth, the base candidate array and the flat
+    ``(positions, offsets, concat)`` triple of every backward neighbour's
+    edge direction, so that at runtime resolving one adjacency list is
+    ``positions[image]`` plus an ``offsets`` slice."""
+    candidates = context.candidates
+    space = context.space
+    base_arrays = [candidates.array(u) for u in order]
+    bindings = [
+        [space.edge_flat(order[b], u) for b in backward[i]]
+        for i, u in enumerate(order)
+    ]
+    return base_arrays, bindings
+
+
+def _local_candidates(
+    depth: int,
+    backward: Sequence[Sequence[int]],
+    base_arrays: list[np.ndarray],
+    bindings: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]],
+    images: list[int],
+    used: np.ndarray,
+) -> list[int]:
+    """Local candidate list at ``depth`` (Line 6 of Algorithm 2), shared
+    by the batch and the generator drivers so their visit order — and
+    therefore match sequences and ``#enum`` — cannot drift apart."""
+    backs = backward[depth]
+    if not backs:
+        arr = base_arrays[depth]
+    elif len(backs) == 1:
+        positions, offsets, concat = bindings[depth][0]
+        p = positions[images[backs[0]]]
+        arr = concat[offsets[p] : offsets[p + 1]]
+    else:
+        arrays = []
+        for (positions, offsets, concat), b in zip(bindings[depth], backs):
+            p = positions[images[b]]
+            arrays.append(concat[offsets[p] : offsets[p + 1]])
+        arrays.sort(key=len)
+        arr = arrays[0]
+        for other in arrays[1:]:
+            if not arr.size:
+                break
+            arr = intersect_sorted(arr, other)
+    if arr.size:
+        # Injectivity: drop images of mapped ancestors.  `used` is
+        # constant while this depth's sibling loop runs, so filtering
+        # here is equivalent to the recursive engine's per-visit check
+        # (used vertices never count towards #enum in either engine).
+        arr = arr[~used[arr]]
+    return arr.tolist()
+
+
 def enumerate_iterative(
     context: MatchingContext,
     order: Sequence[int],
@@ -83,12 +140,9 @@ def enumerate_iterative(
     matches)`` with ``#enum`` counted exactly as the recursive engine
     counts calls: one for the root plus one per extension attempt.
     """
-    data = context.data
-    candidates = context.candidates
-    space = context.space
     n = len(order)
     last = n - 1
-    used = np.zeros(data.num_vertices, dtype=bool)
+    used = np.zeros(context.data.num_vertices, dtype=bool)
     # Per-depth frames: the local candidate list and a cursor into it.
     cand_stack: list[list[int]] = [[]] * n
     pos_stack: list[int] = [0] * n
@@ -97,49 +151,14 @@ def enumerate_iterative(
     found = 0
     timed_out = limited = False
     perf_counter = time.perf_counter
-
-    # Pre-bind, per depth, the flat (positions, offsets, concat) triple of
-    # every backward neighbour's edge direction; at runtime resolving one
-    # adjacency list is positions[image] then an offsets slice.
-    base_arrays: list[np.ndarray] = [candidates.array(u) for u in order]
-    bindings: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
-        [space.edge_flat(order[b], u) for b in backward[i]]
-        for i, u in enumerate(order)
-    ]
-
-    def local_candidates(depth: int) -> list[int]:
-        backs = backward[depth]
-        if not backs:
-            arr = base_arrays[depth]
-        elif len(backs) == 1:
-            positions, offsets, concat = bindings[depth][0]
-            p = positions[images[backs[0]]]
-            arr = concat[offsets[p] : offsets[p + 1]]
-        else:
-            arrays = []
-            for (positions, offsets, concat), b in zip(bindings[depth], backs):
-                p = positions[images[b]]
-                arrays.append(concat[offsets[p] : offsets[p + 1]])
-            arrays.sort(key=len)
-            arr = arrays[0]
-            for other in arrays[1:]:
-                if not arr.size:
-                    break
-                arr = intersect_sorted(arr, other)
-        if arr.size:
-            # Injectivity: drop images of mapped ancestors.  `used` is
-            # constant while this depth's sibling loop runs, so filtering
-            # here is equivalent to the recursive engine's per-visit check
-            # (used vertices never count towards #enum in either engine).
-            arr = arr[~used[arr]]
-        return arr.tolist()
+    base_arrays, bindings = _bind_depths(context, order, backward)
 
     # Root "call" (recurse(0) in the recursive engine).
     enum = 1
     if deadline is not None and enum % check_every == 0 and perf_counter() > deadline:
         return 0, enum, True, False, matches
     depth = 0
-    cand_stack[0] = local_candidates(0)
+    cand_stack[0] = _local_candidates(0, backward, base_arrays, bindings, images, used)
     pos_stack[0] = 0
 
     while depth >= 0:
@@ -175,7 +194,105 @@ def enumerate_iterative(
             continue
         used[v] = True
         depth += 1
-        cand_stack[depth] = local_candidates(depth)
+        cand_stack[depth] = _local_candidates(
+            depth, backward, base_arrays, bindings, images, used
+        )
         pos_stack[depth] = 0
 
     return found, enum, timed_out, limited, matches
+
+
+class EnumerationCounters:
+    """Mutable side-channel for :func:`enumerate_lazy`.
+
+    A suspended generator cannot return counters, so the lazy driver
+    publishes them here instead.  The contract: the fields are current
+    whenever the generator has just yielded, returned, or been closed —
+    *not* at arbitrary points between.
+    """
+
+    __slots__ = ("num_enumerations", "timed_out")
+
+    def __init__(self) -> None:
+        self.num_enumerations = 0
+        self.timed_out = False
+
+
+def enumerate_lazy(
+    context: MatchingContext,
+    order: Sequence[int],
+    backward: Sequence[Sequence[int]],
+    deadline: float | None,
+    check_every: int,
+    counters: EnumerationCounters,
+) -> Iterator[tuple[int, ...]]:
+    """Generator twin of :func:`enumerate_iterative`: yields embeddings.
+
+    Runs the same explicit-stack DFS over the same per-depth bindings and
+    :func:`_local_candidates`, but suspends at every match instead of
+    accumulating, yielding the embedding as a tuple indexed by query
+    vertex.  The DFS state lives in the suspended generator frame, so a
+    consumer that stops after ``k`` matches pays only the search explored
+    up to the ``k``-th match — exactly the ``#enum`` the batch driver
+    reports under ``match_limit=k``.
+
+    There is deliberately no match limit here: truncation is the
+    consumer's move (stop iterating / ``close()`` the generator), which
+    keeps one definition of "stop after the k-th match" for both drivers.
+    ``counters`` is refreshed before every yield and on exhaustion or
+    timeout; ``deadline`` is absolute ``time.perf_counter`` time, so wall
+    clock the *consumer* spends between pulls counts against it too.
+    """
+    n = len(order)
+    last = n - 1
+    used = np.zeros(context.data.num_vertices, dtype=bool)
+    cand_stack: list[list[int]] = [[]] * n
+    pos_stack: list[int] = [0] * n
+    images: list[int] = [0] * n
+    perf_counter = time.perf_counter
+    base_arrays, bindings = _bind_depths(context, order, backward)
+
+    enum = 1
+    counters.num_enumerations = enum
+    if deadline is not None and enum % check_every == 0 and perf_counter() > deadline:
+        counters.timed_out = True
+        return
+    depth = 0
+    cand_stack[0] = _local_candidates(0, backward, base_arrays, bindings, images, used)
+    pos_stack[0] = 0
+
+    while depth >= 0:
+        cands = cand_stack[depth]
+        pos = pos_stack[depth]
+        if pos >= len(cands):
+            depth -= 1
+            if depth >= 0:
+                used[images[depth]] = False
+            continue
+        pos_stack[depth] = pos + 1
+        v = cands[pos]
+        enum += 1
+        if (
+            deadline is not None
+            and enum % check_every == 0
+            and perf_counter() > deadline
+        ):
+            counters.num_enumerations = enum
+            counters.timed_out = True
+            return
+        images[depth] = v
+        if depth == last:
+            by_query_vertex = [0] * n
+            for p in range(n):
+                by_query_vertex[order[p]] = images[p]
+            counters.num_enumerations = enum
+            yield tuple(by_query_vertex)
+            continue
+        used[v] = True
+        depth += 1
+        cand_stack[depth] = _local_candidates(
+            depth, backward, base_arrays, bindings, images, used
+        )
+        pos_stack[depth] = 0
+
+    counters.num_enumerations = enum

@@ -1,0 +1,230 @@
+"""Matcher facade tests: bit-identity with the engine, streaming, amortization.
+
+The acceptance bar for the facade: every path through it —
+``match``, ``match_many``, ``plan``+``execute``, ``stream`` — must
+reproduce ``MatchingEngine.run`` *bit-identically* on match sequences
+and ``#enum``, and one prepared ``Matcher`` must answer a whole
+workload while paying data-graph-side setup exactly once.
+"""
+
+import numpy as np
+import pytest
+
+import repro.graphs.stats as stats_module
+from repro import (
+    Enumerator,
+    GQLFilter,
+    Matcher,
+    MatchingEngine,
+    RIOrderer,
+)
+from repro.errors import EnumerationError, ModelError, ReproError
+from repro.graphs import Graph, GraphStats, erdos_renyi, extract_query
+
+
+def _instances(seed: int, count: int, data_n: int = 60):
+    rng = np.random.default_rng(seed)
+    data = erdos_renyi(data_n, 3 * data_n, 3, seed=seed)
+    queries = [
+        extract_query(data, int(rng.integers(3, 7)), rng) for _ in range(count)
+    ]
+    return data, queries
+
+
+def _engine(**kwargs):
+    return MatchingEngine(
+        GQLFilter(), RIOrderer(), Enumerator(record_matches=True, **kwargs)
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_match_equals_engine_run(self, seed):
+        data, queries = _instances(seed, 6)
+        matcher = Matcher(data, filter="gql", orderer="ri",
+                          match_limit=None, record_matches=True)
+        engine = _engine(match_limit=None)
+        for query in queries:
+            via_facade = matcher.match(query)
+            via_engine = engine.run(query, data)
+            assert via_facade.order == via_engine.order
+            assert via_facade.num_enumerations == via_engine.num_enumerations
+            assert (
+                via_facade.enumeration.matches == via_engine.enumeration.matches
+            )
+
+    def test_match_many_equals_per_query_runs(self):
+        data, queries = _instances(3, 12)
+        matcher = Matcher(data, filter="gql", orderer="ri",
+                          match_limit=None, record_matches=True)
+        engine = _engine(match_limit=None)
+        batched = matcher.match_many(queries)
+        assert len(batched) == len(queries)
+        for query, result in zip(queries, batched):
+            oracle = engine.run(query, data)
+            assert result.enumeration.matches == oracle.enumeration.matches
+            assert result.num_enumerations == oracle.num_enumerations
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stream_unlimited_equals_engine_run(self, seed):
+        data, queries = _instances(seed + 100, 4)
+        matcher = Matcher(data, filter="gql", orderer="ri", match_limit=None)
+        engine = _engine(match_limit=None)
+        for query in queries:
+            oracle = engine.run(query, data)
+            stream = matcher.stream(query, limit=None)
+            collected = tuple(stream)
+            assert collected == oracle.enumeration.matches
+            assert stream.num_matches == oracle.num_matches
+            assert stream.num_enumerations == oracle.num_enumerations
+            assert stream.exhausted and not stream.timed_out
+
+    def test_stream_limit_truncates_without_full_search(self):
+        data, queries = _instances(42, 10)
+        matcher = Matcher(data, filter="gql", orderer="ri",
+                          match_limit=None, record_matches=True)
+        checked = 0
+        for query in queries:
+            full = matcher.match(query)
+            if full.num_matches < 3:
+                continue
+            checked += 1
+            k = max(1, full.num_matches // 2)
+            stream = matcher.stream(query, limit=k)
+            collected = list(stream)
+            assert len(collected) == k
+            assert stream.limit_reached
+            # Truncation is bit-identical to a batch run with match_limit=k
+            # and, crucially, cheaper than the full search.
+            limited = Matcher(data, filter="gql", orderer="ri",
+                              match_limit=k, record_matches=True).match(query)
+            assert tuple(collected) == limited.enumeration.matches
+            assert stream.num_enumerations == limited.num_enumerations
+            assert stream.num_enumerations < full.num_enumerations
+        assert checked > 0, "no query produced enough matches to truncate"
+
+    def test_stream_stops_midway_via_break(self):
+        data, queries = _instances(7, 6)
+        matcher = Matcher(data, filter="gql", orderer="ri", match_limit=None)
+        for query in queries:
+            full = matcher.match(query)
+            if full.num_matches < 2:
+                continue
+            stream = matcher.stream(query)
+            first = next(stream)
+            stream.close()
+            assert stream.exhausted
+            assert stream.num_matches == 1
+            assert len(first) == query.num_vertices
+            return
+        pytest.skip("no query with >= 2 matches")
+
+    def test_unmatchable_query_short_circuits_like_the_engine(self):
+        data, _ = _instances(0, 1)
+        impossible = Graph([max(data.distinct_labels()) + 3], [])
+        matcher = Matcher(data, filter="gql", orderer="ri")
+        engine = _engine()
+        via_facade = matcher.match(impossible)
+        via_engine = engine.run(impossible, data)
+        assert via_facade.num_matches == via_engine.num_matches == 0
+        assert via_facade.num_enumerations == via_engine.num_enumerations == 0
+        assert via_facade.order == via_engine.order
+        stream = matcher.stream(impossible)
+        assert list(stream) == []
+        assert stream.num_enumerations == 0
+
+
+class TestPrepareOnceQueryMany:
+    def test_fifty_query_workload_pays_data_side_setup_once(self, monkeypatch):
+        data, queries = _instances(11, 50, data_n=80)
+        assert len(queries) == 50
+        builds = []
+        original_init = stats_module.GraphStats.__init__
+
+        def counting_init(self, graph):
+            builds.append(graph)
+            original_init(self, graph)
+
+        monkeypatch.setattr(stats_module.GraphStats, "__init__", counting_init)
+        matcher = Matcher(data, filter="gql", orderer="ri", match_limit=1000)
+        assert len(builds) == 1  # construction pays for the stats ...
+        results = matcher.match_many(queries)
+        assert len(results) == 50
+        assert len(builds) == 1  # ... and the whole workload reuses them
+
+    def test_shared_stats_are_not_recomputed(self, monkeypatch):
+        data, _ = _instances(12, 1)
+        stats = GraphStats(data)
+        builds = []
+        original_init = stats_module.GraphStats.__init__
+
+        def counting_init(self, graph):
+            builds.append(graph)
+            original_init(self, graph)
+
+        monkeypatch.setattr(stats_module.GraphStats, "__init__", counting_init)
+        Matcher(data, stats=stats)
+        assert builds == []  # caller-supplied stats short-circuit the build
+
+
+class TestValidation:
+    def test_unknown_component_names_fail_at_construction(self):
+        data, _ = _instances(1, 1)
+        for kwargs in (
+            {"filter": "bogus"},
+            {"orderer": "bogus"},
+            {"enumerator": "bogus"},
+        ):
+            with pytest.raises(ReproError) as exc_info:
+                Matcher(data, **kwargs)
+            assert "bogus" in str(exc_info.value)
+
+    def test_model_without_rl_orderer_is_rejected(self):
+        data, _ = _instances(1, 1)
+        with pytest.raises(ReproError, match="rlqvo"):
+            Matcher(data, orderer="ri", model="/nowhere")
+
+    def test_plan_from_another_data_graph_is_rejected(self):
+        data_a, queries = _instances(2, 1)
+        data_b, _ = _instances(3, 1)
+        plan = Matcher(data_a).plan(queries[0])
+        with pytest.raises(ModelError):
+            Matcher(data_b).execute(plan)
+
+    def test_recursive_enumerator_cannot_stream(self):
+        data, queries = _instances(4, 1)
+        matcher = Matcher(data, enumerator="recursive")
+        with pytest.raises(EnumerationError, match="iterative"):
+            matcher.stream(queries[0])
+
+
+class TestRLIntegration:
+    def test_rl_orderer_from_saved_model_loads_once(self, tmp_path):
+        from repro import RLQVOConfig, RLQVOTrainer, save_model
+
+        data, queries = _instances(21, 4)
+        config = RLQVOConfig(epochs=1, hidden_dim=8, train_match_limit=200,
+                             train_time_limit=0.5, seed=0)
+        trainer = RLQVOTrainer(data, config)
+        trainer.train(queries[:2])
+        save_model(trainer.policy, tmp_path / "model")
+
+        via_path = Matcher(data, orderer="rl", model=tmp_path / "model",
+                           match_limit=500)
+        via_instance = Matcher(data, orderer=trainer.make_orderer(),
+                               match_limit=500)
+        for query in queries[2:]:
+            assert (
+                via_path.plan(query).order == via_instance.plan(query).order
+            )
+            assert via_path.plan(query).orderer_name == "rlqvo"
+
+    def test_rl_orderer_bound_to_wrong_graph_is_rejected(self):
+        from repro import RLQVOConfig, RLQVOTrainer
+
+        data, queries = _instances(22, 2)
+        other, _ = _instances(23, 1)
+        config = RLQVOConfig(epochs=0, hidden_dim=8, seed=0)
+        trainer = RLQVOTrainer(data, config)
+        with pytest.raises(ModelError):
+            Matcher(other, orderer="rl", model=trainer.make_orderer())

@@ -10,6 +10,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.graphs",
     "repro.matching",
     "repro.matching.filters",
@@ -46,6 +47,30 @@ class TestExports:
             "RLQVOConfig", "RLQVOTrainer", "RLQVOOrderer", "load_dataset",
         ):
             assert hasattr(repro, name)
+
+    def test_facade_surface_reachable_from_top_level(self):
+        for name in ("Matcher", "QueryPlan", "MatchStream", "available_components"):
+            assert hasattr(repro, name)
+
+    def test_facade_docstring_carries_the_canonical_example(self):
+        import repro.api
+
+        assert ">>> from repro import Matcher" in repro.api.__doc__
+
+    def test_facade_docstring_example_executes(self):
+        import doctest
+
+        import repro.api
+
+        outcome = doctest.testmod(repro.api, verbose=False)
+        assert outcome.attempted > 0
+        assert outcome.failed == 0
+
+    def test_registry_names_cover_the_default_pipeline(self):
+        inventory = repro.available_components()
+        assert "gql" in inventory["filter"]
+        assert "ri" in inventory["orderer"]
+        assert "iterative" in inventory["enumerator"]
 
 
 class TestDocumentation:
