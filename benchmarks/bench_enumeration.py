@@ -175,7 +175,7 @@ def _baseline_nlf(query: Graph, data: Graph) -> list[list[int]]:
             if data.degree(v) < deg:
                 continue
             have = data_nlf(v)
-            if all(have.get(l, 0) >= c for l, c in need.items()):
+            if all(have.get(lab, 0) >= c for lab, c in need.items()):
                 survivors.append(v)
         sets.append(survivors)
     return sets

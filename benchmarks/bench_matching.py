@@ -1,0 +1,410 @@
+"""End-to-end matching benchmark: the perf-trajectory harness.
+
+Runs the full plan + execute pipeline (``repro.api.Matcher``) over the
+synthesized Table II datasets, records per-phase timings, throughput and
+peak candidate-index footprint, and emits one machine-readable JSON
+(``BENCH_matching.json``) — the unit of the repo's perf trajectory.
+Every speed PR regenerates the committed baseline under
+``benchmarks/baselines/`` and CI's ``perf-smoke`` job re-runs the quick
+profile against it, failing on output drift (match counts / ``#enum``)
+or on a wall-clock regression beyond the tolerance.
+
+The harness also carries its own differential **self-check**: the
+enumeration hot path (the buffered galloping kernels of
+:mod:`repro.matching.kernels`) is raced against a faithful replica of
+the pre-kernel ``_local_candidates`` loop (``np.intersect1d`` +
+``arr[~used[arr]]`` + ``tolist()`` per node) over the same contexts and
+orders.  The two must agree bit-for-bit on match counts and ``#enum``,
+and the kernel path must win on enumeration wall-clock — a regression
+in either fails the run.
+
+Not collected by pytest (no ``test_`` prefix) — run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_matching.py [--quick]
+        [--output BENCH_matching.json]
+        [--compare benchmarks/baselines/bench_matching.json]
+        [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import Matcher
+from repro.datasets import load_dataset, query_workload
+from repro.matching.enumeration_iter import _bind_depths, intersect_sorted
+
+SCHEMA = 1
+
+#: (dataset, query size, total workload queries) per profile.  Small
+#: graphs keep the quick profile CI-sized; the full profile adds the
+#: scaled-down large graphs.
+QUICK_WORKLOADS = (("citeseer", 8, 8), ("yeast", 8, 8))
+FULL_WORKLOADS = (
+    ("citeseer", 8, 16),
+    ("yeast", 8, 16),
+    ("dblp", 8, 12),
+    ("youtube", 8, 12),
+)
+
+MATCH_LIMIT = 100_000
+TIME_LIMIT = 60.0
+
+
+def _calibrate() -> float:
+    """Machine-speed proxy: best-of-3 seconds for a fixed reference load.
+
+    The perf gate normalizes enumeration wall-clock by this number, so a
+    baseline recorded on one machine transfers to runners of a different
+    speed; within one machine it is stable to a few percent.  The load
+    mixes vectorized numpy calls with an interpreted scalar loop in
+    roughly the proportions of the DFS hot path.
+    """
+    rng = np.random.default_rng(0)
+    a = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
+    b = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
+    walk = a.tolist()
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        sink = 0
+        for _ in range(150):
+            idx = b.searchsorted(a)
+            np.minimum(idx, b.size - 1, out=idx)
+            sink += int((b[idx] == a).sum())
+            for v in walk:
+                sink ^= v
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _backward_positions(query, order: list[int]) -> list[list[int]]:
+    """Backward-neighbour positions per position in ``order``."""
+    position = {u: i for i, u in enumerate(order)}
+    return [
+        sorted(position[int(v)] for v in query.neighbors(u) if position[int(v)] < i)
+        for i, u in enumerate(order)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Pre-kernel replica: the old allocating _local_candidates + driver loop
+# ---------------------------------------------------------------------------
+def _replica_bind(context, order, backward):
+    """The pre-kernel per-depth binding (no scratch buffers)."""
+    base_arrays = [context.candidates.array(u) for u in order]
+    bindings = [
+        [context.space.edge_flat(order[b], u) for b in backward[i]]
+        for i, u in enumerate(order)
+    ]
+    return base_arrays, bindings
+
+
+def _replica_local_candidates(depth, backward, base_arrays, bindings, images, used):
+    """Faithful replica of the pre-kernel loop: allocates per node."""
+    backs = backward[depth]
+    if not backs:
+        arr = base_arrays[depth]
+    elif len(backs) == 1:
+        positions, offsets, concat = bindings[depth][0]
+        p = positions[images[backs[0]]]
+        arr = concat[offsets[p] : offsets[p + 1]]
+    else:
+        arrays = []
+        for (positions, offsets, concat), b in zip(bindings[depth], backs):
+            p = positions[images[b]]
+            arrays.append(concat[offsets[p] : offsets[p + 1]])
+        arrays.sort(key=len)
+        arr = arrays[0]
+        for other in arrays[1:]:
+            if not arr.size:
+                break
+            arr = intersect_sorted(arr, other)
+    if arr.size:
+        arr = arr[~used[arr]]
+    return arr.tolist()
+
+
+def _replica_enumerate(context, order, backward, match_limit):
+    """The pre-kernel batch driver (counters only, no deadline)."""
+    n = len(order)
+    last = n - 1
+    used = np.zeros(context.data.num_vertices, dtype=bool)
+    base_arrays, bindings = _replica_bind(context, order, backward)
+    cand_stack = [[]] * n
+    pos_stack = [0] * n
+    images = [0] * n
+    found = 0
+    enum = 1
+    depth = 0
+    cand_stack[0] = _replica_local_candidates(
+        0, backward, base_arrays, bindings, images, used
+    )
+    pos_stack[0] = 0
+    while depth >= 0:
+        cands = cand_stack[depth]
+        pos = pos_stack[depth]
+        if pos >= len(cands):
+            depth -= 1
+            if depth >= 0:
+                used[images[depth]] = False
+            continue
+        pos_stack[depth] = pos + 1
+        v = cands[pos]
+        enum += 1
+        images[depth] = v
+        if depth == last:
+            found += 1
+            if match_limit is not None and found >= match_limit:
+                break
+            continue
+        used[v] = True
+        depth += 1
+        cand_stack[depth] = _replica_local_candidates(
+            depth, backward, base_arrays, bindings, images, used
+        )
+        pos_stack[depth] = 0
+    return found, enum
+
+
+def _kernel_enumerate(context, order, backward, match_limit):
+    """The shipped hot path, deadline-free like the replica above."""
+    from repro.matching.enumeration_iter import enumerate_iterative
+
+    found, enum, _, _, _ = enumerate_iterative(
+        context, order, backward, match_limit, None, 2048, False
+    )
+    return found, enum
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+def bench_end_to_end(workloads, repeats: int) -> list[dict]:
+    """Plan + execute each workload through the facade; per-phase rows."""
+    rows = []
+    for dataset, size, count in workloads:
+        data = load_dataset(dataset)
+        matcher = Matcher(
+            data,
+            filter="gql",
+            orderer="ri",
+            match_limit=MATCH_LIMIT,
+            time_limit=TIME_LIMIT,
+        )
+        queries = query_workload(dataset, size=size, count=count, data=data).eval
+        plans = [matcher.plan(q) for q in queries]
+        filter_time = sum(p.filter_time for p in plans)
+        order_time = sum(p.order_time for p in plans)
+        peak_bytes = max((p.candidate_space_bytes for p in plans), default=0)
+        # Execution is the measured phase: repeat and keep the best, so
+        # one scheduler hiccup doesn't poison the trajectory.
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = [matcher.execute(p) for p in plans]
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        matches = sum(r.num_matches for r in results)
+        enums = sum(r.num_enumerations for r in results)
+        row = {
+            "dataset": dataset,
+            "query_size": size,
+            "queries": len(queries),
+            "matches": matches,
+            "num_enumerations": enums,
+            "filter_time_s": round(filter_time, 6),
+            "order_time_s": round(order_time, 6),
+            "enum_time_s": round(best, 6),
+            "matches_per_s": round(matches / max(best, 1e-9), 1),
+            "enum_steps_per_s": round(enums / max(best, 1e-9), 1),
+            "peak_candidate_space_bytes": int(peak_bytes),
+        }
+        rows.append(row)
+        print(
+            f"  {dataset:<10} Q{size:<3} queries={row['queries']:>3}  "
+            f"matches={matches:>9,}  #enum={enums:>10,}  "
+            f"filter={filter_time * 1e3:7.1f}ms  order={order_time * 1e3:6.1f}ms  "
+            f"enum={best * 1e3:7.1f}ms  {row['matches_per_s'] / 1e3:8.1f}k matches/s  "
+            f"cs-peak={peak_bytes / 1024:,.0f}KiB"
+        )
+    return rows
+
+
+def bench_selfcheck(workloads, repeats: int) -> dict:
+    """Race the kernel hot path against the pre-kernel replica.
+
+    Same contexts, same orders, bit-identical counters required; the
+    kernel must win on aggregate enumeration wall-clock.
+    """
+    instances = []
+    peak_scratch = 0
+    for dataset, size, count in workloads:
+        data = load_dataset(dataset)
+        matcher = Matcher(
+            data, filter="gql", orderer="ri",
+            match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
+        )
+        for query in query_workload(dataset, size=size, count=count, data=data).eval:
+            plan = matcher.plan(query)
+            if not plan.matchable:
+                continue
+            order = list(plan.order)
+            backward = _backward_positions(query, order)
+            instances.append((plan.context, order, backward))
+            _, _, scratch = _bind_depths(plan.context, order, backward)
+            peak_scratch = max(peak_scratch, scratch.nbytes())
+
+    timings = {}
+    outputs = {}
+    for name, runner in (("replica", _replica_enumerate), ("kernel", _kernel_enumerate)):
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            out = [
+                runner(context, order, backward, MATCH_LIMIT)
+                for context, order, backward in instances
+            ]
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        timings[name] = best
+        outputs[name] = out
+    agree = outputs["replica"] == outputs["kernel"]
+    speedup = timings["replica"] / max(timings["kernel"], 1e-9)
+    print(
+        f"  self-check          replica={timings['replica'] * 1e3:7.1f}ms  "
+        f"kernel={timings['kernel'] * 1e3:7.1f}ms  speedup={speedup:5.2f}x  "
+        f"scratch-peak={peak_scratch / 1024:,.1f}KiB  "
+        f"{'outputs agree' if agree else 'OUTPUT DISAGREEMENT'}"
+    )
+    if not agree:
+        for i, (r, k) in enumerate(zip(outputs["replica"], outputs["kernel"])):
+            if r != k:
+                print(f"    instance {i}: replica={r} kernel={k}")
+    return {
+        "replica_enum_time_s": round(timings["replica"], 6),
+        "kernel_enum_time_s": round(timings["kernel"], 6),
+        "speedup": round(speedup, 3),
+        "peak_scratch_bytes": int(peak_scratch),
+        "outputs_agree": agree,
+        "instances": len(instances),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison (the CI perf gate)
+# ---------------------------------------------------------------------------
+def compare_against_baseline(report: dict, baseline: dict, tolerance: float) -> bool:
+    """Gate this run against a committed baseline report.
+
+    Output drift (match counts or ``#enum`` on any workload) is a hard
+    failure — the enumeration's semantics are pinned.  Wall-clock may
+    regress by at most ``tolerance`` (relative) on the aggregate
+    enumeration time, compared **calibration-normalized**: both sides
+    are divided by their own run's :func:`_calibrate` seconds, so a
+    baseline recorded on one machine transfers to a faster or slower
+    runner; improvements always pass.
+    """
+    ok = True
+    base_rows = {
+        (r["dataset"], r["query_size"]): r for r in baseline.get("workloads", [])
+    }
+    for row in report["workloads"]:
+        key = (row["dataset"], row["query_size"])
+        base = base_rows.get(key)
+        if base is None:
+            print(f"  compare: no baseline row for {key}; skipping drift check")
+            continue
+        for field in ("queries", "matches", "num_enumerations"):
+            if row[field] != base[field]:
+                print(
+                    f"  compare: OUTPUT DRIFT on {key}: {field} "
+                    f"{base[field]:,} -> {row[field]:,}"
+                )
+                ok = False
+    base_total = baseline.get("totals", {}).get("enum_time_s")
+    this_total = report["totals"]["enum_time_s"]
+    if base_total:
+        base_cal = baseline.get("totals", {}).get("calibration_s") or 1.0
+        this_cal = report["totals"].get("calibration_s") or 1.0
+        base_norm = base_total / base_cal
+        this_norm = this_total / this_cal
+        budget = base_norm * (1.0 + tolerance)
+        verdict = "ok" if this_norm <= budget else "WALL-CLOCK REGRESSION"
+        print(
+            f"  compare: enum wall-clock {this_total * 1e3:.1f}ms "
+            f"(normalized {this_norm:.3f}) vs baseline {base_total * 1e3:.1f}ms "
+            f"(normalized {base_norm:.3f}; budget {budget:.3f} "
+            f"@ +{tolerance:.0%}) — {verdict}"
+        )
+        ok &= this_norm <= budget
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument(
+        "--output", default="BENCH_matching.json", help="where to write the report"
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="baseline JSON to gate against (drift + wall-clock)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative wall-clock regression vs the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
+    repeats = 3 if args.quick else 5
+
+    calibration = _calibrate()
+    print(f"machine calibration: {calibration * 1e3:.1f}ms (reference load)")
+    print("end-to-end matching benchmark (plan + execute, facade)")
+    rows = bench_end_to_end(workloads, repeats)
+    print("kernel self-check (buffered galloping vs pre-kernel replica)")
+    selfcheck = bench_selfcheck(workloads, repeats)
+
+    report = {
+        "schema": SCHEMA,
+        "quick": bool(args.quick),
+        "workloads": rows,
+        "selfcheck": selfcheck,
+        "totals": {
+            "matches": sum(r["matches"] for r in rows),
+            "num_enumerations": sum(r["num_enumerations"] for r in rows),
+            "enum_time_s": round(sum(r["enum_time_s"] for r in rows), 6),
+            "calibration_s": round(calibration, 6),
+        },
+    }
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {out_path}")
+
+    ok = selfcheck["outputs_agree"]
+    if not ok:
+        print("SELF-CHECK FAILED: kernel and replica outputs disagree")
+    if selfcheck["speedup"] < 1.0:
+        print(
+            "SELF-CHECK FAILED: kernel path slower than pre-kernel replica "
+            f"({selfcheck['speedup']:.2f}x)"
+        )
+        ok = False
+    if args.compare is not None:
+        baseline = json.loads(Path(args.compare).read_text())
+        ok &= compare_against_baseline(report, baseline, args.tolerance)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -146,7 +146,7 @@ class QueryPlan:
         return {
             "version": PLAN_SCHEMA_VERSION,
             "query": {
-                "labels": [int(l) for l in self.query.labels],
+                "labels": [int(lab) for lab in self.query.labels],
                 "edges": [[int(a), int(b)] for a, b in self.query.edges()],
             },
             "order": list(self.order),

@@ -31,6 +31,11 @@ from repro.matching.enumeration import (
     MatchStream,
 )
 from repro.matching.enumeration_iter import intersect_sorted
+from repro.matching.kernels import (
+    ScratchBuffers,
+    intersect_into,
+    intersect_unused_into,
+)
 from repro.matching.filters import (
     FILTERS,
     CFLFilter,
@@ -88,6 +93,9 @@ __all__ = [
     "has_semi_perfect_matching",
     "hopcroft_karp",
     "intersect_sorted",
+    "ScratchBuffers",
+    "intersect_into",
+    "intersect_unused_into",
     "is_valid_embedding",
     "rank_orders",
     "verify_all",

@@ -129,11 +129,17 @@ class MatchStream:
 
     Progress counters (:attr:`num_matches`, :attr:`num_enumerations`,
     :attr:`timed_out`, :attr:`limit_reached`, :attr:`elapsed`) are live
-    after every yield; :meth:`result` packages them as an
+    after every yield *and* after :meth:`close`, wherever it lands
+    between pulls (the DFS generator refreshes them on every exit from
+    its frame); :meth:`result` packages them as an
     :class:`EnumerationResult` once the stream is finished (exhausted,
-    limited, timed out or explicitly :meth:`close`-d).  The wall-clock
-    deadline is absolute, so time the consumer spends between pulls
-    counts against it — a streaming budget, not a pure-search budget.
+    limited, timed out or explicitly :meth:`close`-d).  A stream closed
+    before its first pull reports the root step
+    (``num_enumerations == 1``) without having searched — the same
+    accounting the batch engine charges before its first extension.
+    The wall-clock deadline is absolute, so time the consumer spends
+    between pulls counts against it — a streaming budget, not a
+    pure-search budget.
     """
 
     def __init__(
@@ -162,6 +168,11 @@ class MatchStream:
             self._gen = enumerate_lazy(
                 context, order, backward, deadline, check_every, self._counters
             )
+            # Pre-charge the root step: the generator body only runs on
+            # the first pull, so a stream closed before then would
+            # otherwise report #enum == 0 — an accounting no batch run
+            # can produce (the root "call" always counts).
+            self._counters.num_enumerations = 1
 
     @classmethod
     def empty(cls, context: MatchingContext) -> "MatchStream":

@@ -7,14 +7,21 @@ search even gets going.  This module holds the flat replacement: a DFS
 driven by per-depth cursors into *sorted numpy candidate arrays*, in the
 style of LIVE's and NeuSO's index-driven enumeration loops.
 
-Local candidates at depth ``i`` are computed by sorted-array
-intersection (:func:`intersect_sorted` — ``np.intersect1d`` for balanced
-inputs, a ``searchsorted`` gallop when one side dwarfs the other) over
-the :class:`~repro.matching.candidate_space.CandidateSpace` flat per-edge
+Local candidates at depth ``i`` are computed by the buffered galloping
+kernels of :mod:`repro.matching.kernels` over the
+:class:`~repro.matching.candidate_space.CandidateSpace` flat per-edge
 index: each per-depth binding is a ``(positions, offsets, concat)``
 array triple, so resolving a backward neighbour's adjacency list is two
-array indexings — no dict probes on the hot path.  Injectivity is one
-vectorised boolean mask.
+array indexings — no dict probes on the hot path.  Depths with at most
+one backward neighbour walk a **zero-copy view** (the base candidate
+array or one slice of the flat index) with injectivity probed per visit
+against the dense ``used`` map; multi-neighbour depths gallop
+smallest-first through two ping-pong scratch buffers with the
+injectivity mask fused into the final write, landing in a per-depth
+candidate buffer owned by a
+:class:`~repro.matching.kernels.ScratchBuffers` sized once per query.
+The DFS allocates nothing per node, and its cursors walk the numpy
+views directly (no ``tolist()``).
 
 The traversal visits candidates in ascending vertex order — exactly the
 order the recursive engine's sorted adjacency scans produce — so the two
@@ -31,6 +38,11 @@ from collections.abc import Iterator, Sequence
 import numpy as np
 
 from repro.matching.context import MatchingContext
+from repro.matching.kernels import (
+    ScratchBuffers,
+    intersect_into,
+    intersect_unused_into,
+)
 
 __all__ = ["EnumerationCounters", "intersect_sorted", "enumerate_iterative", "enumerate_lazy"]
 
@@ -46,7 +58,10 @@ def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Intersection of two sorted arrays of unique int64 vertex ids.
 
     Dispatches between ``np.intersect1d`` (comparable sizes) and a
-    galloping ``searchsorted`` membership test (lopsided sizes).
+    galloping ``searchsorted`` membership test (lopsided sizes).  This
+    is the allocating convenience form; the enumeration hot path uses
+    :func:`repro.matching.kernels.intersect_into`, which writes into
+    reusable scratch instead.
     """
     if a.size == 0 or b.size == 0:
         return _EMPTY
@@ -60,15 +75,31 @@ def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.intersect1d(a, b, assume_unique=True)
 
 
+def _max_segment(offsets: np.ndarray) -> int:
+    """Longest adjacency list in one flat ``(offsets, concat)`` binding."""
+    if offsets.size < 2:
+        return 0
+    return int(np.max(offsets[1:] - offsets[:-1]))
+
+
 def _bind_depths(
     context: MatchingContext,
     order: Sequence[int],
     backward: Sequence[Sequence[int]],
-) -> tuple[list[np.ndarray], list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]]]:
+) -> tuple[
+    list[np.ndarray],
+    list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]],
+    ScratchBuffers,
+]:
     """Pre-bind, per depth, the base candidate array and the flat
     ``(positions, offsets, concat)`` triple of every backward neighbour's
     edge direction, so that at runtime resolving one adjacency list is
-    ``positions[image]`` plus an ``offsets`` slice."""
+    ``positions[image]`` plus an ``offsets`` slice.  Also sizes the
+    per-query :class:`ScratchBuffers`: only depths with two or more
+    backward neighbours write into scratch (the others walk zero-copy
+    views), and their buffers are bounded by the smallest backward
+    binding's longest adjacency list — smallest-first intersection can
+    never produce more."""
     candidates = context.candidates
     space = context.space
     base_arrays = [candidates.array(u) for u in order]
@@ -76,7 +107,13 @@ def _bind_depths(
         [space.edge_flat(order[b], u) for b in backward[i]]
         for i, u in enumerate(order)
     ]
-    return base_arrays, bindings
+    capacities = [
+        min(_max_segment(offsets) for _, offsets, _ in bindings[i])
+        if len(backward[i]) > 1
+        else 0
+        for i in range(len(order))
+    ]
+    return base_arrays, bindings, ScratchBuffers(capacities)
 
 
 def _local_candidates(
@@ -86,35 +123,53 @@ def _local_candidates(
     bindings: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]],
     images: list[int],
     used: np.ndarray,
-) -> list[int]:
+    scratch: ScratchBuffers,
+) -> np.ndarray:
     """Local candidate list at ``depth`` (Line 6 of Algorithm 2), shared
     by the batch and the generator drivers so their visit order — and
-    therefore match sequences and ``#enum`` — cannot drift apart."""
+    therefore match sequences and ``#enum`` — cannot drift apart.
+
+    Returns a sorted array the driver's cursor walks directly: a
+    zero-copy view (the base candidate array, or one slice of the flat
+    per-edge index) when the depth has at most one backward neighbour,
+    or a view of ``scratch.cand[depth]`` holding the smallest-first
+    ping-pong intersection when it has several.  Injectivity: the
+    multi-neighbour path fuses the ``used`` mask into its final write;
+    the view paths leave it to the driver's per-visit probe.  ``used``
+    is constant while this depth's sibling loop runs, so both filter
+    points admit the same candidates — used vertices never count
+    towards ``#enum`` in either engine.
+    """
     backs = backward[depth]
     if not backs:
-        arr = base_arrays[depth]
-    elif len(backs) == 1:
+        return base_arrays[depth]
+    if len(backs) == 1:
         positions, offsets, concat = bindings[depth][0]
         p = positions[images[backs[0]]]
-        arr = concat[offsets[p] : offsets[p + 1]]
-    else:
-        arrays = []
-        for (positions, offsets, concat), b in zip(bindings[depth], backs):
-            p = positions[images[b]]
-            arrays.append(concat[offsets[p] : offsets[p + 1]])
-        arrays.sort(key=len)
-        arr = arrays[0]
-        for other in arrays[1:]:
-            if not arr.size:
-                break
-            arr = intersect_sorted(arr, other)
-    if arr.size:
-        # Injectivity: drop images of mapped ancestors.  `used` is
-        # constant while this depth's sibling loop runs, so filtering
-        # here is equivalent to the recursive engine's per-visit check
-        # (used vertices never count towards #enum in either engine).
-        arr = arr[~used[arr]]
-    return arr.tolist()
+        return concat[offsets[p] : offsets[p + 1]]
+    arrays = []
+    for (positions, offsets, concat), b in zip(bindings[depth], backs):
+        p = positions[images[b]]
+        arrays.append(concat[offsets[p] : offsets[p + 1]])
+    arrays.sort(key=len)
+    # Intersect smallest-first through the two ping-pong buffers; the
+    # last intersection fuses the injectivity filter and writes straight
+    # into this depth's candidate buffer.
+    arr = arrays[0]
+    tmp, spare = scratch.tmp_a, scratch.tmp_b
+    for other in arrays[1:-1]:
+        if not arr.size:
+            return _EMPTY
+        length = intersect_into(arr, other, tmp, scratch.mask)
+        arr = tmp[:length]
+        tmp, spare = spare, tmp
+    if not arr.size:
+        return _EMPTY
+    out = scratch.cand[depth]
+    length = intersect_unused_into(
+        arr, arrays[-1], used, out, scratch.mask, scratch.mask2
+    )
+    return out[:length]
 
 
 def enumerate_iterative(
@@ -143,35 +198,43 @@ def enumerate_iterative(
     n = len(order)
     last = n - 1
     used = np.zeros(context.data.num_vertices, dtype=bool)
-    # Per-depth frames: the local candidate list and a cursor into it.
-    cand_stack: list[list[int]] = [[]] * n
+    base_arrays, bindings, scratch = _bind_depths(context, order, backward)
+    # Per-depth frames: the local candidate array (a view — see
+    # _local_candidates) and a cursor into it.
+    cand_stack: list[np.ndarray] = [_EMPTY] * n
+    len_stack: list[int] = [0] * n
     pos_stack: list[int] = [0] * n
     images: list[int] = [0] * n
     matches: list[tuple[int, ...]] = []
     found = 0
     timed_out = limited = False
     perf_counter = time.perf_counter
-    base_arrays, bindings = _bind_depths(context, order, backward)
 
     # Root "call" (recurse(0) in the recursive engine).
     enum = 1
     if deadline is not None and enum % check_every == 0 and perf_counter() > deadline:
         return 0, enum, True, False, matches
     depth = 0
-    cand_stack[0] = _local_candidates(0, backward, base_arrays, bindings, images, used)
+    arr = _local_candidates(0, backward, base_arrays, bindings, images, used, scratch)
+    cand_stack[0] = arr
+    len_stack[0] = arr.size
     pos_stack[0] = 0
 
     while depth >= 0:
-        cands = cand_stack[depth]
         pos = pos_stack[depth]
-        if pos >= len(cands):
+        if pos >= len_stack[depth]:
             # Frame exhausted: backtrack and free the parent's image.
             depth -= 1
             if depth >= 0:
                 used[images[depth]] = False
             continue
         pos_stack[depth] = pos + 1
-        v = cands[pos]
+        v = cand_stack[depth].item(pos)
+        if used[v]:
+            # Injectivity probe for the zero-copy candidate views; an
+            # already-mapped vertex is skipped before it counts, exactly
+            # as a pre-filtered list never contains it.
+            continue
         enum += 1
         if (
             deadline is not None
@@ -194,9 +257,11 @@ def enumerate_iterative(
             continue
         used[v] = True
         depth += 1
-        cand_stack[depth] = _local_candidates(
-            depth, backward, base_arrays, bindings, images, used
+        arr = _local_candidates(
+            depth, backward, base_arrays, bindings, images, used, scratch
         )
+        cand_stack[depth] = arr
+        len_stack[depth] = arr.size
         pos_stack[depth] = 0
 
     return found, enum, timed_out, limited, matches
@@ -207,8 +272,13 @@ class EnumerationCounters:
 
     A suspended generator cannot return counters, so the lazy driver
     publishes them here instead.  The contract: the fields are current
-    whenever the generator has just yielded, returned, or been closed —
-    *not* at arbitrary points between.
+    whenever the *started* generator has just yielded, returned, raised,
+    or been closed — the driver refreshes ``num_enumerations`` before
+    every yield and, via ``try/finally``, on every way out of the frame,
+    including a ``close()`` between pulls.  A generator that is closed
+    before its first pull never ran at all, so it cannot refresh
+    anything; :class:`~repro.matching.enumeration.MatchStream` covers
+    that window by pre-charging the root step at stream creation.
     """
 
     __slots__ = ("num_enumerations", "timed_out")
@@ -239,60 +309,75 @@ def enumerate_lazy(
     There is deliberately no match limit here: truncation is the
     consumer's move (stop iterating / ``close()`` the generator), which
     keeps one definition of "stop after the k-th match" for both drivers.
-    ``counters`` is refreshed before every yield and on exhaustion or
-    timeout; ``deadline`` is absolute ``time.perf_counter`` time, so wall
-    clock the *consumer* spends between pulls counts against it too.
+    ``counters`` is refreshed before every yield and — via the
+    ``try/finally`` — on every exit from the frame: exhaustion, timeout,
+    an exception, or a ``close()`` between pulls.  ``deadline`` is
+    absolute ``time.perf_counter`` time, so wall clock the *consumer*
+    spends between pulls counts against it too.
     """
     n = len(order)
     last = n - 1
     used = np.zeros(context.data.num_vertices, dtype=bool)
-    cand_stack: list[list[int]] = [[]] * n
+    base_arrays, bindings, scratch = _bind_depths(context, order, backward)
+    cand_stack: list[np.ndarray] = [_EMPTY] * n
+    len_stack: list[int] = [0] * n
     pos_stack: list[int] = [0] * n
     images: list[int] = [0] * n
     perf_counter = time.perf_counter
-    base_arrays, bindings = _bind_depths(context, order, backward)
 
     enum = 1
-    counters.num_enumerations = enum
-    if deadline is not None and enum % check_every == 0 and perf_counter() > deadline:
-        counters.timed_out = True
-        return
-    depth = 0
-    cand_stack[0] = _local_candidates(0, backward, base_arrays, bindings, images, used)
-    pos_stack[0] = 0
-
-    while depth >= 0:
-        cands = cand_stack[depth]
-        pos = pos_stack[depth]
-        if pos >= len(cands):
-            depth -= 1
-            if depth >= 0:
-                used[images[depth]] = False
-            continue
-        pos_stack[depth] = pos + 1
-        v = cands[pos]
-        enum += 1
-        if (
-            deadline is not None
-            and enum % check_every == 0
-            and perf_counter() > deadline
-        ):
-            counters.num_enumerations = enum
+    try:
+        counters.num_enumerations = enum
+        if deadline is not None and enum % check_every == 0 and perf_counter() > deadline:
             counters.timed_out = True
             return
-        images[depth] = v
-        if depth == last:
-            by_query_vertex = [0] * n
-            for p in range(n):
-                by_query_vertex[order[p]] = images[p]
-            counters.num_enumerations = enum
-            yield tuple(by_query_vertex)
-            continue
-        used[v] = True
-        depth += 1
-        cand_stack[depth] = _local_candidates(
-            depth, backward, base_arrays, bindings, images, used
+        depth = 0
+        arr = _local_candidates(
+            0, backward, base_arrays, bindings, images, used, scratch
         )
-        pos_stack[depth] = 0
+        cand_stack[0] = arr
+        len_stack[0] = arr.size
+        pos_stack[0] = 0
 
-    counters.num_enumerations = enum
+        while depth >= 0:
+            pos = pos_stack[depth]
+            if pos >= len_stack[depth]:
+                depth -= 1
+                if depth >= 0:
+                    used[images[depth]] = False
+                continue
+            pos_stack[depth] = pos + 1
+            v = cand_stack[depth].item(pos)
+            if used[v]:
+                # Injectivity probe for the zero-copy candidate views;
+                # skipped vertices never count towards #enum.
+                continue
+            enum += 1
+            if (
+                deadline is not None
+                and enum % check_every == 0
+                and perf_counter() > deadline
+            ):
+                counters.timed_out = True
+                return
+            images[depth] = v
+            if depth == last:
+                by_query_vertex = [0] * n
+                for p in range(n):
+                    by_query_vertex[order[p]] = images[p]
+                counters.num_enumerations = enum
+                yield tuple(by_query_vertex)
+                continue
+            used[v] = True
+            depth += 1
+            arr = _local_candidates(
+                depth, backward, base_arrays, bindings, images, used, scratch
+            )
+            cand_stack[depth] = arr
+            len_stack[depth] = arr.size
+            pos_stack[depth] = 0
+    finally:
+        # One refresh on every way out — normal exhaustion, timeout,
+        # GeneratorExit from a close() between pulls, or an exception —
+        # so the published counters can never go stale.
+        counters.num_enumerations = enum

@@ -1,6 +1,5 @@
 """Tests for best-checkpoint tracking in the trainer."""
 
-import numpy as np
 import pytest
 
 from repro.core import RLQVOConfig, RLQVOTrainer

@@ -1,6 +1,5 @@
 """Tests for the training and benchmark CLIs."""
 
-import numpy as np
 import pytest
 
 from repro.core.cli import main as train_main

@@ -1,6 +1,5 @@
 """Tests for the RL-QVO orderer wrapper."""
 
-import numpy as np
 import pytest
 
 from repro.core import FeatureBuilder, PolicyNetwork, RLQVOConfig, RLQVOOrderer

@@ -1,6 +1,5 @@
 """Tests for the RL-QVO training loop."""
 
-import numpy as np
 import pytest
 
 from repro.core import RLQVOConfig, RLQVOTrainer

@@ -46,7 +46,6 @@ class TestWLHash:
 def test_wl_hash_equal_implies_nx_isomorphic_on_small_graphs(seed, n):
     # On small random graphs, check agreement with exact isomorphism:
     # equal hashes must be isomorphic (no false merges at this scale).
-    rng = np.random.default_rng(seed)
     g1 = erdos_renyi(n, min(n * (n - 1) // 2, n + 2), 2, seed=seed)
     g2 = erdos_renyi(n, min(n * (n - 1) // 2, n + 2), 2, seed=seed + 1)
 

@@ -62,7 +62,7 @@ class TestAccessorEquivalence:
         labels, edges = case
         g = Graph(labels, edges)
         for lab in set(labels) | {max(labels) + 1}:
-            expected = [v for v, l in enumerate(labels) if l == lab]
+            expected = [v for v, vlab in enumerate(labels) if vlab == lab]
             assert g.vertices_with_label(lab).tolist() == expected
             assert g.label_frequency(lab) == len(expected)
 

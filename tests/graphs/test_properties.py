@@ -32,7 +32,7 @@ def test_invariants_hold_for_arbitrary_graphs(g: Graph):
     check_graph(g)
     assert g.num_edges == len(g.edges())
     assert int(g.degrees.sum()) == 2 * g.num_edges
-    assert sum(g.label_frequency(l) for l in g.distinct_labels()) == g.num_vertices
+    assert sum(g.label_frequency(lab) for lab in g.distinct_labels()) == g.num_vertices
 
 
 @given(random_graphs())

@@ -1,6 +1,5 @@
 """Tests for query extraction and sparsification."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DatasetError
@@ -40,7 +39,7 @@ class TestExtractQuery:
             extract_query(g, 3, rng, max_attempts=20)
 
     def test_edge_keep_prob_sparsifies_but_stays_connected(self, data_graph, rng):
-        dense = extract_query(data_graph, 10, rng, edge_keep_prob=1.0)
+        extract_query(data_graph, 10, rng, edge_keep_prob=1.0)
         sparse = extract_query(data_graph, 10, rng, edge_keep_prob=0.0)
         assert sparse.is_connected()
         assert sparse.num_edges == 9  # spanning tree only

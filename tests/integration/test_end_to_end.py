@@ -6,7 +6,6 @@ results agree with every baseline, and saved models reproduce orders
 bit-for-bit.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import RLQVOConfig, RLQVOTrainer, load_model, save_model

@@ -7,7 +7,6 @@
   work on non-trivial queries (Sec. III-G complexity claim).
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import METHODS, method_engine

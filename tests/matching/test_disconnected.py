@@ -6,7 +6,6 @@ products), isolated query vertices, or one-vertex queries.
 """
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.graphs import Graph, erdos_renyi

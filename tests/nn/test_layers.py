@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ModelError
-from repro.nn import Dropout, Linear, Module, ReLU, Sequential, Tanh, Tensor
+from repro.nn import Dropout, Linear, ReLU, Sequential, Tanh, Tensor
 
 
 class TestLinear:

@@ -1,6 +1,5 @@
 """Tests for the ordering MDP environment."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TrainingError
