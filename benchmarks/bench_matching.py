@@ -38,9 +38,11 @@ import numpy as np
 
 from repro.api import Matcher
 from repro.datasets import load_dataset, query_workload
+from repro.graphs.canonical import canonical_form, relabel_graph
 from repro.matching.enumeration_iter import _bind_depths, intersect_sorted
+from repro.service import PlanCache
 
-SCHEMA = 1
+SCHEMA = 2
 
 #: (dataset, query size, total workload queries) per profile.  Small
 #: graphs keep the quick profile CI-sized; the full profile adds the
@@ -298,6 +300,93 @@ def bench_selfcheck(workloads, repeats: int) -> dict:
     }
 
 
+def _relabeled_isomorph(query, seed: int):
+    """An isomorphic copy of ``query`` under a random vertex permutation."""
+    rng = np.random.default_rng(seed)
+    return relabel_graph(query, rng.permutation(query.num_vertices))
+
+
+def bench_plan_cache(workloads, repeats: int) -> dict:
+    """Repeated-workload scenario: cold planning vs plan-cache hits.
+
+    Models the serving regime the plan cache exists for: the same (or
+    isomorphic) queries recur against long-lived data graphs.  The cold
+    pass plans every query against an empty cache; the warm passes
+    re-plan random *isomorphs* of the same queries through the full
+    canonical path (canonical labeling + fingerprint lookup + exact
+    query equality guard) — the realistic hit cost.  Cache hits must be
+    measurably cheaper than cold planning; CI's ``perf-smoke`` job
+    gates the quick profile on both the win itself and regressions of
+    the warm path against the committed baseline.
+    """
+    warm_pass_iters = 5  # passes per warm measurement: lifts the timed
+    # region out of scheduler-jitter territory for the CI gate
+    instances = []
+    for dataset, size, count in workloads:
+        data = load_dataset(dataset)
+        cache = PlanCache()
+        matcher = Matcher(
+            data, filter="gql", orderer="ri",
+            match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
+            plan_cache=cache, cache_scope=dataset,
+        )
+        queries = list(
+            query_workload(dataset, size=size, count=count, data=data).eval
+        )
+        # Client-side relabeling is not serving cost: pre-generate the
+        # isomorph waves outside every timed region.
+        waves = [
+            [
+                _relabeled_isomorph(q, wave * 10_007 + i)
+                for i, q in enumerate(queries)
+            ]
+            for wave in range(1, repeats * warm_pass_iters + 1)
+        ]
+        instances.append((matcher, queries, waves))
+
+    def plan_pass(wave_index: int) -> int:
+        """One full pass over every workload; returns cache hits."""
+        hits = 0
+        for matcher, queries, waves in instances:
+            targets = queries if wave_index == 0 else waves[wave_index - 1]
+            for target in targets:
+                cform = canonical_form(target)
+                _, hit = matcher.plan_fingerprinted(cform.graph, cform.fingerprint)
+                hits += hit
+        return hits
+
+    total_queries = sum(len(queries) for _, queries, _ in instances)
+    start = time.perf_counter()
+    cold_hits = plan_pass(0)
+    cold_time = time.perf_counter() - start
+    assert cold_hits == 0, "cold pass must start from an empty cache"
+    warm_time = None
+    warm_hits = 0
+    for repeat in range(repeats):
+        start = time.perf_counter()
+        hits = 0
+        for it in range(warm_pass_iters):
+            hits += plan_pass(repeat * warm_pass_iters + it + 1)
+        elapsed = (time.perf_counter() - start) / warm_pass_iters
+        warm_hits = hits
+        warm_time = elapsed if warm_time is None else min(warm_time, elapsed)
+    speedup = cold_time / max(warm_time, 1e-9)
+    all_hit = warm_hits == total_queries * warm_pass_iters
+    print(
+        f"  plan-cache          cold={cold_time * 1e3:7.1f}ms  "
+        f"warm={warm_time * 1e3:7.1f}ms  speedup={speedup:5.2f}x  "
+        f"({total_queries} plans, warm passes over isomorphs, "
+        f"{'all hits' if all_hit else 'MISSES ON WARM PASS'})"
+    )
+    return {
+        "cold_plan_s": round(cold_time, 6),
+        "warm_plan_s": round(warm_time, 6),
+        "speedup": round(speedup, 3),
+        "queries": total_queries,
+        "warm_all_hits": all_hit,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Baseline comparison (the CI perf gate)
 # ---------------------------------------------------------------------------
@@ -331,9 +420,9 @@ def compare_against_baseline(report: dict, baseline: dict, tolerance: float) -> 
                 ok = False
     base_total = baseline.get("totals", {}).get("enum_time_s")
     this_total = report["totals"]["enum_time_s"]
+    base_cal = baseline.get("totals", {}).get("calibration_s") or 1.0
+    this_cal = report["totals"].get("calibration_s") or 1.0
     if base_total:
-        base_cal = baseline.get("totals", {}).get("calibration_s") or 1.0
-        this_cal = report["totals"].get("calibration_s") or 1.0
         base_norm = base_total / base_cal
         this_norm = this_total / this_cal
         budget = base_norm * (1.0 + tolerance)
@@ -341,6 +430,22 @@ def compare_against_baseline(report: dict, baseline: dict, tolerance: float) -> 
         print(
             f"  compare: enum wall-clock {this_total * 1e3:.1f}ms "
             f"(normalized {this_norm:.3f}) vs baseline {base_total * 1e3:.1f}ms "
+            f"(normalized {base_norm:.3f}; budget {budget:.3f} "
+            f"@ +{tolerance:.0%}) — {verdict}"
+        )
+        ok &= this_norm <= budget
+    base_warm = baseline.get("plan_cache", {}).get("warm_plan_s")
+    this_warm = report.get("plan_cache", {}).get("warm_plan_s")
+    if base_warm and this_warm:
+        # The cache-hit path is a perf surface of its own: gate it with
+        # the same calibration-normalized tolerance as enumeration.
+        base_norm = base_warm / base_cal
+        this_norm = this_warm / this_cal
+        budget = base_norm * (1.0 + tolerance)
+        verdict = "ok" if this_norm <= budget else "CACHE-HIT REGRESSION"
+        print(
+            f"  compare: plan-cache warm pass {this_warm * 1e3:.1f}ms "
+            f"(normalized {this_norm:.3f}) vs baseline {base_warm * 1e3:.1f}ms "
             f"(normalized {base_norm:.3f}; budget {budget:.3f} "
             f"@ +{tolerance:.0%}) — {verdict}"
         )
@@ -374,12 +479,15 @@ def main(argv: list[str] | None = None) -> int:
     rows = bench_end_to_end(workloads, repeats)
     print("kernel self-check (buffered galloping vs pre-kernel replica)")
     selfcheck = bench_selfcheck(workloads, repeats)
+    print("repeated-workload scenario (cold planning vs plan-cache hits)")
+    plan_cache = bench_plan_cache(workloads, repeats)
 
     report = {
         "schema": SCHEMA,
         "quick": bool(args.quick),
         "workloads": rows,
         "selfcheck": selfcheck,
+        "plan_cache": plan_cache,
         "totals": {
             "matches": sum(r["matches"] for r in rows),
             "num_enumerations": sum(r["num_enumerations"] for r in rows),
@@ -398,6 +506,15 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "SELF-CHECK FAILED: kernel path slower than pre-kernel replica "
             f"({selfcheck['speedup']:.2f}x)"
+        )
+        ok = False
+    if not plan_cache["warm_all_hits"]:
+        print("PLAN-CACHE FAILED: warm pass missed the cache")
+        ok = False
+    if plan_cache["speedup"] < 1.0:
+        print(
+            "PLAN-CACHE FAILED: cache-hit planning slower than cold planning "
+            f"({plan_cache['speedup']:.2f}x)"
         )
         ok = False
     if args.compare is not None:

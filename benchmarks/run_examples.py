@@ -79,6 +79,15 @@ SENTINELS: dict[str, list[str]] = {
         r"flat CandidateSpace footprint across the workload",
         r"most order-sensitive query: \d+(\.\d+)?x spread",
     ],
+    "service_workload.py": [
+        r"service catalog: citeseer, yeast",
+        r"request +\| dataset +\| +matches \| +#enum \| cached",
+        r"citeseer/q0 \| citeseer \| +\d+ \| +\d+ \| hit",
+        r"yeast/q3 \| yeast",
+        r"warm wave: 8/8 cache hits; outcomes identical to the cold wave: True",
+        r"service stats: 16 requests, cache hit rate \d+%",
+        r"invalidated 4 citeseer plans; follow-up request cached=False",
+    ],
 }
 
 

@@ -47,6 +47,13 @@ from repro.matching import (
     Orderer,
     RIOrderer,
 )
+from repro.service import (
+    MatchRequest,
+    MatchResponse,
+    MatchService,
+    PlanCache,
+    ServiceStats,
+)
 
 __version__ = "1.0.0"
 
@@ -60,16 +67,21 @@ __all__ = [
     "Graph",
     "GraphStats",
     "IterativeEnumerator",
+    "MatchRequest",
+    "MatchResponse",
     "MatchResult",
+    "MatchService",
     "MatchStream",
     "Matcher",
     "MatchingContext",
     "MatchingEngine",
     "Orderer",
+    "PlanCache",
     "QueryPlan",
     "PolicyNetwork",
     "QueryWorkload",
     "RIOrderer",
+    "ServiceStats",
     "RLQVOConfig",
     "RLQVOOrderer",
     "RLQVOTrainer",

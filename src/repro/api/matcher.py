@@ -26,6 +26,7 @@ import dataclasses
 import os
 import time
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,7 +37,8 @@ from repro.api.registry import (
     make_orderer,
     orderer_registry,
 )
-from repro.errors import ModelError, RegistryError
+from repro.errors import CanonicalizationError, ModelError, RegistryError
+from repro.graphs.canonical import MAX_CANONICAL_VERTICES, canonical_fingerprint
 from repro.graphs.graph import Graph
 from repro.graphs.stats import GraphStats
 from repro.matching.context import MatchingContext
@@ -47,6 +49,9 @@ from repro.matching.enumeration import (
     EnumerationResult,
     MatchStream,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an api→service import
+    from repro.service.cache import PlanCache
 
 __all__ = ["Matcher"]
 
@@ -78,6 +83,31 @@ class Matcher:
         ``PolicyNetwork``, or a ready ``RLQVOOrderer``.
     seed:
         Seed forwarded to the learned orderer's sampling RNG.
+    plan_cache:
+        Optional :class:`~repro.service.cache.PlanCache`.  When set,
+        :meth:`plan` (with no explicit ``rng``) first looks the query up
+        by its canonical fingerprint and returns the cached plan on a
+        hit — skipping Phases (1)–(2) entirely — and stores cold plans
+        back.  Caches may be shared across matchers: keys are scoped by
+        :attr:`cache_scope` plus the filter/orderer names.
+    cache_scope:
+        First key component for this matcher's cache entries; defaults
+        to a content hash of the data graph, so two matchers over equal
+        graphs share entries and different graphs never collide.  The
+        service sets it to the dataset name to make per-dataset
+        invalidation addressable.
+
+    Thread safety
+    -------------
+    A constructed ``Matcher`` may be shared across threads: planning and
+    execution write only per-call state, the plan cache is internally
+    locked, and the components shipped in the registries keep no
+    per-query mutable state (lazily derived graph views are built-once
+    and race-benign under CPython).  The one exception is the learned
+    orderer with ``sample=True``, whose shared RNG makes results
+    ordering-dependent — keep sampling to single-threaded (training)
+    paths.  Concurrent calls are bit-identical to the same calls run
+    serially; ``tests/api/test_concurrency.py`` pins this contract.
     """
 
     def __init__(
@@ -94,6 +124,8 @@ class Matcher:
         stats: GraphStats | None = None,
         model=None,
         seed: int | None = None,
+        plan_cache: "PlanCache | None" = None,
+        cache_scope: str | None = None,
     ):
         self.data = data
         # Amortized data-graph-side state: statistics are computed once
@@ -116,6 +148,8 @@ class Matcher:
             self.orderer, "name", type(self.orderer).__name__
         )
         self.enumerator_name = self.enumerator.strategy
+        self.plan_cache = plan_cache
+        self._cache_scope = cache_scope
 
     def _resolve_orderer(self, orderer, model, seed: int | None):
         """Resolve the orderer spec, loading the RL model when needed."""
@@ -160,6 +194,23 @@ class Matcher:
     # ------------------------------------------------------------------
     # Phases (1)-(2): planning
     # ------------------------------------------------------------------
+    @property
+    def cache_scope(self) -> str:
+        """First component of this matcher's plan-cache keys.
+
+        Defaults to a content hash of the data graph (computed once, on
+        first use), so equal graphs share cache entries and different
+        graphs cannot collide; the service overrides it with the dataset
+        name to make invalidation addressable.
+        """
+        if self._cache_scope is None:
+            self._cache_scope = f"data:{hash(self.data) & (2**64 - 1):016x}"
+        return self._cache_scope
+
+    def _cache_key(self, fingerprint: str) -> tuple[str, str, str, str]:
+        """Cache key: scope plus the plan-shaping component names."""
+        return (self.cache_scope, self.filter_name, self.orderer_name, fingerprint)
+
     def plan(
         self, query: Graph, rng: np.random.Generator | None = None
     ) -> QueryPlan:
@@ -170,7 +221,61 @@ class Matcher:
         the enumerator consumes it, and a query with an empty candidate
         set short-circuits to the identity order without billing the
         ordering phase.
+
+        With a :attr:`plan_cache` attached (and no explicit ``rng`` —
+        sampled orders are never cached), this consults the cache first;
+        a hit returns the stored plan without re-running either phase.
+        Queries the canonicalizer cannot handle — larger than
+        :data:`~repro.graphs.canonical.MAX_CANONICAL_VERTICES`, or so
+        symmetric the labeling search exhausts its node budget — bypass
+        the cache and plan cold: caching degrades, planning never breaks
+        and never hangs.
         """
+        if (
+            self.plan_cache is not None
+            and rng is None
+            and query.num_vertices <= MAX_CANONICAL_VERTICES
+        ):
+            try:
+                return self.plan_fingerprinted(query)[0]
+            except CanonicalizationError:
+                pass
+        return self._plan_cold(query, rng)
+
+    def plan_fingerprinted(
+        self, query: Graph, fingerprint: str | None = None
+    ) -> tuple[QueryPlan, bool]:
+        """:meth:`plan` through the cache; returns ``(plan, cache_hit)``.
+
+        ``fingerprint`` lets callers that already canonicalized the
+        query (the service does, at the request boundary) skip the
+        canonical-labeling pass; when omitted it is computed here.  A
+        cache hit additionally requires the stored query to equal
+        ``query`` exactly, so reuse is always sound.  Without a
+        :attr:`plan_cache` this degenerates to a cold plan (and reports
+        a miss).
+        """
+        if fingerprint is None:
+            fingerprint = canonical_fingerprint(query)
+        if self.plan_cache is None:
+            plan = self._plan_cold(query, None)
+            plan.__dict__["fingerprint"] = fingerprint
+            return plan, False
+        key = self._cache_key(fingerprint)
+        cached = self.plan_cache.get(key, query)
+        if cached is not None:
+            return cached, True
+        plan = self._plan_cold(query, None)
+        # Seed the lazy fingerprint so neither caching nor serialization
+        # pays a second canonicalization.
+        plan.__dict__["fingerprint"] = fingerprint
+        self.plan_cache.put(key, plan)
+        return plan, False
+
+    def _plan_cold(
+        self, query: Graph, rng: np.random.Generator | None = None
+    ) -> QueryPlan:
+        """The uncached Phases (1)–(2) pipeline behind :meth:`plan`."""
         t0 = time.perf_counter()
         candidates = self.candidate_filter.filter(query, self.data, self.stats)
         context = MatchingContext(query, self.data, candidates, self.stats)
@@ -253,7 +358,11 @@ class Matcher:
     def _attached_context(self, plan: QueryPlan) -> MatchingContext:
         """The plan's live context, rebuilding Phase (1) when detached."""
         if plan.context is not None:
-            if plan.context.data is not self.data:
+            # Identity is the fast path; fall back to content equality
+            # so plans cached by one matcher execute on another matcher
+            # over an equal data graph (the shared-cache contract the
+            # content-hash default cache_scope advertises).
+            if plan.context.data is not self.data and plan.context.data != self.data:
                 raise ModelError(
                     "plan was built against a different data graph"
                 )
@@ -275,18 +384,22 @@ class Matcher:
         )
         return MatchingContext(plan.query, self.data, candidates, self.stats)
 
-    def execute(self, plan: QueryPlan) -> MatchResult:
+    def execute(self, plan: QueryPlan, enumerator=None) -> MatchResult:
         """Run the enumeration phase of a plan; a full :class:`MatchResult`.
 
         The result's filter/order timings are the ones recorded on the
         plan, so repeated executions of one plan keep reporting the true
-        (once-paid) planning cost.
+        (once-paid) planning cost.  ``enumerator`` (a registry name or
+        instance) overrides this matcher's engine for one execution —
+        how the service applies per-request match/time limits to shared
+        cached plans without re-planning.
         """
+        engine = self.enumerator if enumerator is None else make_enumerator(enumerator)
         context = self._attached_context(plan)
         if context.candidates.has_empty():
             empty = EnumerationResult(0, 0, 0.0, False, False, ())
             return MatchResult(plan.order, empty, plan.filter_time, plan.order_time)
-        enumeration = self.enumerator.run_context(context, plan.order)
+        enumeration = engine.run_context(context, plan.order)
         return MatchResult(plan.order, enumeration, plan.filter_time, plan.order_time)
 
     def match(
@@ -329,13 +442,20 @@ class Matcher:
         """
         return self.stream_plan(self.plan(query, rng), limit=limit)
 
-    def stream_plan(self, plan: QueryPlan, limit: int | None = None) -> MatchStream:
-        """:meth:`stream` over an already-built plan."""
+    def stream_plan(
+        self, plan: QueryPlan, limit: int | None = None, enumerator=None
+    ) -> MatchStream:
+        """:meth:`stream` over an already-built plan.
+
+        ``enumerator`` overrides the engine for this stream, exactly as
+        in :meth:`execute`.
+        """
+        engine = self.enumerator if enumerator is None else make_enumerator(enumerator)
         context = self._attached_context(plan)
         if context.candidates.has_empty():
             return MatchStream.empty(context)
-        match_limit = self.enumerator.match_limit if limit is None else limit
-        return self.enumerator.stream_context(context, plan.order, match_limit)
+        match_limit = engine.match_limit if limit is None else limit
+        return engine.stream_context(context, plan.order, match_limit)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -22,16 +22,38 @@ Phase (1) from the recorded filter; everything downstream of the
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
-from repro.errors import ReproError
+from repro.errors import InvalidGraphError, ReproError
+from repro.graphs.canonical import canonical_fingerprint
 from repro.graphs.graph import Graph
 from repro.matching.context import MatchingContext
 from repro.matching.cost import estimate_order_cost
 
-__all__ = ["QueryPlan"]
+__all__ = ["QueryPlan", "graph_payload", "graph_from_payload"]
 
 #: Schema tag for serialized plans, bumped on incompatible layout changes.
 PLAN_SCHEMA_VERSION = 1
+
+
+def graph_payload(graph: Graph) -> dict:
+    """The query-graph wire shape: labels plus an edge list.
+
+    The one spelling shared by serialized plans and the service's
+    request payloads — change the format here, nowhere else.
+    """
+    return {
+        "labels": [int(lab) for lab in graph.labels],
+        "edges": [[int(a), int(b)] for a, b in graph.edges()],
+    }
+
+
+def graph_from_payload(payload: dict) -> Graph:
+    """Rebuild a query graph from :func:`graph_payload` output."""
+    return Graph(
+        payload["labels"],
+        [(int(a), int(b)) for a, b in payload["edges"]],
+    )
 
 
 @dataclass(frozen=True)
@@ -80,6 +102,19 @@ class QueryPlan:
     context: MatchingContext | None = field(
         default=None, repr=False, compare=False
     )
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Canonical isomorphism-class fingerprint of the plan's query.
+
+        Computed lazily (an exact canonical labeling of the query, see
+        :func:`repro.graphs.canonical.canonical_fingerprint`) and cached
+        on the instance; the plan cache keys on it, and callers that
+        already hold the fingerprint (e.g. the service, which
+        canonicalizes at the request boundary) seed it instead of
+        recomputing.
+        """
+        return canonical_fingerprint(self.query)
 
     @property
     def num_query_vertices(self) -> int:
@@ -142,28 +177,50 @@ class QueryPlan:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-compatible payload (the live context does not travel)."""
-        return {
+        """JSON-compatible payload (the live context does not travel).
+
+        Every numeric is coerced to a native Python type here: plans are
+        frequently built from numpy-derived values (candidate counts,
+        timings, cost estimates), and ``json.dumps`` rejects numpy
+        scalars — the round-trip test pins this stays safe.
+
+        ``fingerprint`` is included when the query is canonicalizable
+        (the normal case; cached plans carry it pre-seeded) and omitted
+        otherwise — serialization must keep working for exactly the
+        oversized/adversarially-symmetric plans the cache fallback
+        serves.
+        """
+        try:
+            fingerprint = self.fingerprint
+        except InvalidGraphError:
+            # Covers the size guard and CanonicalizationError alike.
+            fingerprint = None
+        payload = {
             "version": PLAN_SCHEMA_VERSION,
-            "query": {
-                "labels": [int(lab) for lab in self.query.labels],
-                "edges": [[int(a), int(b)] for a, b in self.query.edges()],
-            },
-            "order": list(self.order),
-            "candidate_counts": list(self.candidate_counts),
+            "query": graph_payload(self.query),
+            "order": [int(u) for u in self.order],
+            "candidate_counts": [int(c) for c in self.candidate_counts],
             "filter": self.filter_name,
             "orderer": self.orderer_name,
             "enumerator": self.enumerator_name,
-            "filter_time": self.filter_time,
-            "order_time": self.order_time,
-            "build_time": self.build_time,
-            "estimated_cost": self.estimated_cost,
-            "candidate_space_bytes": self.candidate_space_bytes,
+            "filter_time": float(self.filter_time),
+            "order_time": float(self.order_time),
+            "build_time": float(self.build_time),
+            "estimated_cost": float(self.estimated_cost),
+            "candidate_space_bytes": int(self.candidate_space_bytes),
         }
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "QueryPlan":
-        """Rebuild a (detached) plan from :meth:`to_dict` output."""
+        """Rebuild a (detached) plan from :meth:`to_dict` output.
+
+        A recorded ``fingerprint`` is seeded onto the restored plan, so
+        deserialization never re-pays (or re-fails) the canonical
+        labeling; absent, the property stays lazy.
+        """
         try:
             version = payload["version"]
             if version != PLAN_SCHEMA_VERSION:
@@ -171,12 +228,8 @@ class QueryPlan:
                     f"unsupported plan schema version {version!r} "
                     f"(this library writes {PLAN_SCHEMA_VERSION})"
                 )
-            query = Graph(
-                payload["query"]["labels"],
-                [(int(a), int(b)) for a, b in payload["query"]["edges"]],
-            )
-            return cls(
-                query=query,
+            plan = cls(
+                query=graph_from_payload(payload["query"]),
                 order=tuple(int(u) for u in payload["order"]),
                 candidate_counts=tuple(
                     int(c) for c in payload["candidate_counts"]
@@ -191,5 +244,8 @@ class QueryPlan:
                 candidate_space_bytes=int(payload["candidate_space_bytes"]),
                 context=None,
             )
+            if "fingerprint" in payload:
+                plan.__dict__["fingerprint"] = str(payload["fingerprint"])
+            return plan
         except (KeyError, TypeError) as exc:
             raise ReproError(f"malformed query-plan payload: {exc}") from exc

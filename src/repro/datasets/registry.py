@@ -191,7 +191,11 @@ def clear_cache() -> None:
 def load_dataset(name: str, use_disk_cache: bool = True) -> Graph:
     """Synthesize (or load from cache) the named dataset graph."""
     if name not in DATASETS:
-        raise DatasetError(f"unknown dataset {name!r}; options: {sorted(DATASETS)}")
+        # Same unknown-name style as the component registries and the
+        # service catalog: sorted, comma-joined choices.
+        raise DatasetError(
+            f"unknown dataset {name!r}; valid choices: {', '.join(sorted(DATASETS))}"
+        )
     if name in _MEMORY_CACHE:
         return _MEMORY_CACHE[name]
 

@@ -75,7 +75,10 @@ def query_workload(
         Pre-loaded data graph (loaded from the registry when omitted).
     """
     if dataset not in DATASETS:
-        raise DatasetError(f"unknown dataset {dataset!r}; options: {sorted(DATASETS)}")
+        raise DatasetError(
+            f"unknown dataset {dataset!r}; valid choices: "
+            f"{', '.join(sorted(DATASETS))}"
+        )
     spec = DATASETS[dataset]
     size = spec.default_query_size if size is None else size
     if size not in spec.query_sizes:

@@ -46,3 +46,9 @@ class DatasetError(ReproError):
 
 class RegistryError(ReproError):
     """A component name is unknown to (or clashes in) a registry."""
+
+
+class CanonicalizationError(InvalidGraphError):
+    """Canonical labeling exceeded its search budget (adversarially
+    symmetric graph); callers fall back to uncached/uncanonicalized
+    handling."""

@@ -16,6 +16,18 @@ all pass around.
 filtering phase (so it is billed to ``filter_time``, as the paper bills
 all Phase (1) work); standalone callers that construct a context
 directly get the space on first use of :attr:`MatchingContext.space`.
+
+Concurrency: once built, a context is read-only — both enumeration
+engines and the orderers treat the candidate arrays and the per-edge
+index as immutable, which is what lets the service layer execute one
+cached plan (one shared context) from many threads at once.  The only
+mutation after construction is the lazy :attr:`MatchingContext.space`
+build itself: two threads racing on first access may each build the
+(identical, deterministic) index and one wins the single-assignment —
+wasteful, never wrong.  Callers that interleave
+:meth:`MatchingContext.release_space` with concurrent enumeration give
+up that guarantee; long-lived cached plans should release only when
+quiescent.
 """
 
 from __future__ import annotations

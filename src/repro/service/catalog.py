@@ -1,0 +1,279 @@
+"""Multi-dataset catalog: lazy, configured :class:`Matcher` instances.
+
+A deployment serves many data graphs, but a :class:`~repro.api.matcher.
+Matcher` binds exactly one.  :class:`DatasetCatalog` is the indirection
+between the two: it maps dataset *names* to matcher *recipes*
+(:class:`CatalogEntry`) and constructs each Matcher lazily, on first
+request — so a service fronting the whole Table II registry pays
+data-graph loading and statistics only for the datasets traffic
+actually touches.
+
+Entries come from three places, mixable freely:
+
+* the :mod:`repro.datasets` registry — any registered dataset name is
+  servable by default (graphs load through ``load_dataset``, statistics
+  through ``dataset_stats``, both process-cached);
+* explicit graphs — ``DatasetCatalog({"prod": my_graph})`` serves an
+  in-memory graph under a name of your choosing;
+* per-dataset component overrides — an entry may pin its own filter /
+  orderer / enumerator / limits / trained model, e.g. a learned orderer
+  for one dataset and RI for the rest.
+
+Per-request orderer overrides construct a *variant* matcher that shares
+the base entry's data graph and statistics (only the orderer differs),
+so switching orderers per request never re-pays Phase-0 work.  Unknown
+names raise :class:`~repro.errors.RegistryError` listing the valid
+choices in sorted order — the same contract as the component
+registries.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.api.matcher import Matcher
+from repro.errors import RegistryError
+from repro.graphs.graph import Graph
+from repro.graphs.stats import GraphStats
+from repro.matching.enumeration import DEFAULT_TIME_LIMIT
+from repro.service.cache import PlanCache
+
+__all__ = ["CatalogEntry", "DatasetCatalog"]
+
+
+@dataclass
+class CatalogEntry:
+    """Recipe for one dataset's matcher (constructed lazily).
+
+    ``data`` may be ``None`` for registry datasets (loaded through
+    :func:`repro.datasets.load_dataset` on first use).  The component
+    and limit fields mirror :class:`~repro.api.matcher.Matcher`'s
+    constructor; ``model`` feeds the learned orderer.
+    """
+
+    name: str
+    data: Graph | None = None
+    filter: str = "gql"
+    orderer: str = "ri"
+    enumerator: str = "iterative"
+    match_limit: int | None = 100_000
+    time_limit: float | None = DEFAULT_TIME_LIMIT
+    model: object = None
+    stats: GraphStats | None = field(default=None, repr=False)
+
+    def load(self) -> tuple[Graph, GraphStats | None]:
+        """The entry's data graph and (possibly shared) statistics."""
+        if self.data is not None:
+            return self.data, self.stats
+        from repro.datasets import dataset_stats, load_dataset
+
+        graph = load_dataset(self.name)
+        return graph, self.stats if self.stats is not None else dataset_stats(self.name)
+
+
+def _coerce_entry(name: str, value) -> CatalogEntry:
+    """Normalize one catalog mapping value into a :class:`CatalogEntry`."""
+    if isinstance(value, CatalogEntry):
+        if value.name != name:
+            raise RegistryError(
+                f"catalog entry named {value.name!r} registered under {name!r}"
+            )
+        return value
+    if isinstance(value, Graph):
+        return CatalogEntry(name=name, data=value)
+    if isinstance(value, dict):
+        return CatalogEntry(name=name, **value)
+    if value is None:
+        return CatalogEntry(name=name)
+    raise RegistryError(
+        f"catalog value for {name!r} must be a Graph, CatalogEntry, "
+        f"dict of overrides or None, got {type(value).__name__!r}"
+    )
+
+
+class DatasetCatalog:
+    """Name → lazily constructed :class:`Matcher` mapping.
+
+    Parameters
+    ----------
+    entries:
+        ``None`` (serve every dataset in the :mod:`repro.datasets`
+        registry), a list of registry names, or a mapping from name to
+        ``Graph`` / :class:`CatalogEntry` / override-dict / ``None``.
+    plan_cache:
+        Shared :class:`PlanCache` injected into every constructed
+        matcher (scoped by dataset name); ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        entries=None,
+        plan_cache: PlanCache | None = None,
+    ):
+        self.plan_cache = plan_cache
+        self._lock = threading.Lock()
+        self._matchers: dict[tuple[str, str | None], Matcher] = {}
+        self._entries: dict[str, CatalogEntry] = {}
+        if entries is None:
+            from repro.datasets import DATASETS
+
+            for name in DATASETS:
+                self._entries[name] = CatalogEntry(name=name)
+        elif isinstance(entries, dict):
+            for name, value in entries.items():
+                self._entries[name] = _coerce_entry(name, value)
+        else:
+            for name in entries:
+                if not isinstance(name, str):
+                    raise RegistryError(
+                        "catalog entries must be a mapping or dataset names, "
+                        f"got element of type {type(name).__name__!r}"
+                    )
+                self._entries[name] = CatalogEntry(name=name)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def attach_plan_cache(self, cache: PlanCache) -> None:
+        """Install ``cache`` on the catalog *and* every built matcher.
+
+        :class:`~repro.service.service.MatchService` calls this when
+        adopting a prebuilt catalog that has no cache yet — matchers
+        constructed before the hand-off must start caching too, not
+        silently stay cold.
+        """
+        with self._lock:
+            self.plan_cache = cache
+            for matcher in self._matchers.values():
+                matcher.plan_cache = cache
+
+    def add(self, entry: CatalogEntry, overwrite: bool = False) -> CatalogEntry:
+        """Register (or replace) a dataset entry.
+
+        Replacing drops any constructed matchers for the name and
+        invalidates the name's plan-cache scope — the explicit
+        invalidation path for "the graph behind this name changed".
+        """
+        with self._lock:
+            if entry.name in self._entries and not overwrite:
+                raise RegistryError(
+                    f"dataset {entry.name!r} is already in the catalog; "
+                    "pass overwrite=True to replace it"
+                )
+            self._entries[entry.name] = entry
+            self._drop_matchers(entry.name)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_scope(entry.name)
+        return entry
+
+    def remove(self, name: str) -> None:
+        """Drop a dataset (and its cached plans) from the catalog."""
+        with self._lock:
+            if name not in self._entries:
+                raise self._unknown(name)
+            del self._entries[name]
+            self._drop_matchers(name)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_scope(name)
+
+    def _drop_matchers(self, name: str) -> None:
+        for key in [k for k in self._matchers if k[0] == name]:
+            del self._matchers[key]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        """Sorted dataset names currently servable."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _unknown(self, name: str) -> RegistryError:
+        """Unknown-name error in the registry style (sorted choices)."""
+        return RegistryError(
+            f"unknown dataset {name!r}; valid choices: "
+            f"{', '.join(sorted(self._entries))}"
+        )
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The recipe registered under ``name``."""
+        with self._lock:
+            if name not in self._entries:
+                raise self._unknown(name)
+            return self._entries[name]
+
+    def matcher(self, name: str, orderer: str | None = None) -> Matcher:
+        """The (lazily constructed) matcher for ``name``.
+
+        ``orderer`` requests a variant with that orderer substituted;
+        variants share the base matcher's data graph and statistics, so
+        only the orderer itself is constructed anew.  Matchers are
+        cached per ``(name, orderer)`` and shared across threads (see
+        the :class:`Matcher` thread-safety contract).
+        """
+        key = (name, orderer)
+        with self._lock:
+            matcher = self._matchers.get(key)
+            if matcher is not None:
+                return matcher
+            if name not in self._entries:
+                raise self._unknown(name)
+            entry = self._entries[name]
+        # Construction happens outside the lock: loading a dataset can
+        # take a while and must not serialize unrelated lookups.  A
+        # racing thread may build the same matcher twice; first write
+        # wins and the duplicates are equivalent.
+        if orderer is not None:
+            # Variants share the base matcher's data graph and stats.
+            base = self.matcher(name)
+            data, stats = base.data, base.stats
+        else:
+            data, stats = entry.load()
+            if stats is None:
+                stats = GraphStats(data)
+        chosen = entry.orderer if orderer is None else orderer
+        # Compare orderers by canonical registry name, so requesting the
+        # entry's own learned orderer through an alias ("rl" for
+        # "rlqvo") still carries the entry's model.  Unknown override
+        # names fail here, registry-style, before any construction.
+        from repro.api.registry import orderer_registry
+
+        same_orderer = (
+            chosen == entry.orderer
+            or (
+                chosen in orderer_registry
+                and entry.orderer in orderer_registry
+                and orderer_registry.canonical(chosen)
+                == orderer_registry.canonical(entry.orderer)
+            )
+        )
+        matcher = Matcher(
+            data,
+            filter=entry.filter,
+            orderer=chosen,
+            enumerator=entry.enumerator,
+            match_limit=entry.match_limit,
+            time_limit=entry.time_limit,
+            stats=stats,
+            model=entry.model if same_orderer else None,
+            plan_cache=self.plan_cache,
+            cache_scope=name,
+        )
+        with self._lock:
+            existing = self._matchers.get(key)
+            if existing is not None:
+                return existing
+            self._matchers[key] = matcher
+            return matcher
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"DatasetCatalog({', '.join(self.names())})"

@@ -1,0 +1,137 @@
+"""Serving CLI: ``repro-serve <requests.jsonl> [options]``.
+
+Executes a JSONL request file against the dataset catalog and emits one
+JSONL response per request, in request order.  Each input line is a
+:meth:`repro.service.requests.MatchRequest.to_dict` payload::
+
+    {"dataset": "citeseer", "query": {"labels": [0, 1, 0],
+     "edges": [[0, 1], [1, 2]]}, "match_limit": 1000, "tag": "q-17"}
+
+Responses are :meth:`repro.service.requests.MatchResponse.to_dict`
+payloads; failed requests carry an ``"error"`` field instead of
+results.  A trailing stats snapshot goes to stderr (or stdout as JSON
+with ``--stats``), so pipelines can split data from telemetry.
+
+Examples
+--------
+::
+
+    repro-serve requests.jsonl --output responses.jsonl
+    repro-serve requests.jsonl --datasets citeseer,yeast --workers 8
+    repro-serve requests.jsonl --stats > responses_and_stats.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.service.cache import DEFAULT_CACHE_BYTES
+from repro.service.requests import MatchRequest
+from repro.service.service import MatchService
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Execute a JSONL match-request file against the dataset catalog.",
+    )
+    parser.add_argument(
+        "requests", help="path to the JSONL request file ('-' for stdin)"
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="where to write JSONL responses (default: stdout)",
+    )
+    parser.add_argument(
+        "--datasets", default=None,
+        help="comma-separated catalog restriction (default: full registry)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool width for concurrent execution",
+    )
+    parser.add_argument(
+        "--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES,
+        help="plan-cache byte budget",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="append a {'stats': ...} JSON line after the responses",
+    )
+    return parser
+
+
+def _read_requests(path: str) -> list[MatchRequest]:
+    """Parse the JSONL request file (skipping blank lines)."""
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    requests = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            requests.append(MatchRequest.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, ReproError) as exc:
+            raise ReproError(f"request line {lineno}: {exc}") from exc
+    return requests
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Exit code 0 when every request was served, 1 when any response
+    carries an error (the responses are still all emitted) or the
+    request file is malformed.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        requests = _read_requests(args.requests)
+    except (OSError, ReproError) as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 1
+
+    datasets = (
+        [name.strip() for name in args.datasets.split(",") if name.strip()]
+        if args.datasets is not None
+        else None
+    )
+    service = MatchService(
+        catalog=datasets, cache_bytes=args.cache_bytes, max_workers=args.workers
+    )
+    responses = service.submit_many(requests)
+
+    out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    try:
+        for response in responses:
+            out.write(json.dumps(response.to_dict(), sort_keys=True) + "\n")
+        if args.stats:
+            out.write(
+                json.dumps({"stats": service.stats().to_dict()}, sort_keys=True)
+                + "\n"
+            )
+    finally:
+        if args.output:
+            out.close()
+
+    stats = service.stats()
+    failed = sum(1 for r in responses if not r.ok)
+    print(
+        f"repro-serve: {len(responses)} responses "
+        f"({failed} failed), cache hit rate "
+        f"{stats.cache.hit_rate:.0%}, p95 latency {stats.latency_p95_s * 1e3:.1f}ms",
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

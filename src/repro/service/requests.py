@@ -1,0 +1,249 @@
+"""Structured request/response payloads for :class:`MatchService`.
+
+The service boundary speaks *data*, not method calls: a
+:class:`MatchRequest` names a dataset, carries a query graph, and may
+override the per-request execution envelope (match limit, time limit,
+orderer, streaming); a :class:`MatchResponse` carries everything a
+client needs — counts, the matching order and any recorded embeddings
+expressed in the *client's* vertex numbering (the service canonicalizes
+queries internally), per-phase timings, the plan fingerprint and
+whether the plan cache served it.  Both round-trip through
+JSON-compatible dicts, which is what the ``repro-serve`` JSONL CLI
+reads and writes.
+
+``UNSET`` distinguishes "use the dataset's configured default" from an
+explicit ``None`` (which, for the limits, means *unlimited*) — a
+distinction a plain ``None`` default could not express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.plan import graph_from_payload, graph_payload
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+
+__all__ = ["UNSET", "MatchRequest", "MatchResponse"]
+
+
+class _Unset:
+    """Sentinel type for "not specified" (vs an explicit ``None``)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: "Use the dataset's configured default" marker for request overrides.
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class MatchRequest:
+    """One unit of work for :meth:`MatchService.submit`.
+
+    Attributes
+    ----------
+    dataset:
+        Catalog name of the data graph to match against.
+    query:
+        The query graph, in the client's own vertex numbering.
+    match_limit / time_limit:
+        Per-request execution envelope; :data:`UNSET` inherits the
+        dataset's configured defaults, ``None`` means unlimited.
+    orderer:
+        Registry name overriding the dataset's configured orderer for
+        this request (plans cache separately per orderer).
+    record_matches:
+        Materialize embeddings into :attr:`MatchResponse.matches`.
+    stream:
+        Enumerate through the lazy streaming engine instead of the
+        batch driver — same matches, same ``#enum``, but the search
+        never materializes more than ``match_limit`` embeddings at
+        once; implies ``record_matches``.
+    tag:
+        Opaque client correlation id, echoed on the response.
+    """
+
+    dataset: str
+    query: Graph
+    match_limit: Any = UNSET
+    time_limit: Any = UNSET
+    orderer: str | None = None
+    record_matches: bool = False
+    stream: bool = False
+    tag: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible payload (the JSONL request-file line)."""
+        payload: dict = {"dataset": self.dataset, "query": graph_payload(self.query)}
+        if self.match_limit is not UNSET:
+            payload["match_limit"] = self.match_limit
+        if self.time_limit is not UNSET:
+            payload["time_limit"] = self.time_limit
+        if self.orderer is not None:
+            payload["orderer"] = self.orderer
+        if self.record_matches:
+            payload["record_matches"] = True
+        if self.stream:
+            payload["stream"] = True
+        if self.tag is not None:
+            payload["tag"] = self.tag
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MatchRequest":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Absent limit keys mean :data:`UNSET` (dataset defaults); an
+        explicit JSON ``null`` means unlimited, mirroring ``None``.
+        """
+        try:
+            return cls(
+                dataset=payload["dataset"],
+                query=graph_from_payload(payload["query"]),
+                match_limit=payload.get("match_limit", UNSET),
+                time_limit=payload.get("time_limit", UNSET),
+                orderer=payload.get("orderer"),
+                record_matches=bool(payload.get("record_matches", False)),
+                stream=bool(payload.get("stream", False)),
+                tag=payload.get("tag"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ReproError(f"malformed match-request payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class MatchResponse:
+    """Outcome of one request, in the client's vertex numbering.
+
+    Attributes
+    ----------
+    dataset / tag:
+        Echoed from the request.
+    fingerprint:
+        Canonical isomorphism-class fingerprint of the query — the
+        plan-cache key, stable across processes.
+    cache_hit:
+        Whether the plan cache served Phases (1)–(2).
+    order:
+        The matching order as a sequence of the *client's* query vertex
+        ids (positions in the order, translated back through the
+        canonical mapping).
+    num_matches / num_enumerations / timed_out / limit_reached:
+        The enumeration outcome (Def. II.5–II.6 semantics).
+    matches:
+        Embeddings indexed by the client's query vertex ids; populated
+        only when the request asked for matches.
+    filter_time / order_time:
+        Planning cost *recorded on the plan* — on a cache hit this is
+        the historical, once-paid cost, not new work.
+    enum_time / total_time:
+        Phase (3) wall clock, and end-to-end request latency.
+    error:
+        Failure description when the request could not be served
+        (capture mode of ``submit_many``); every other payload field is
+        zeroed.
+    """
+
+    dataset: str
+    fingerprint: str
+    cache_hit: bool
+    order: tuple[int, ...]
+    num_matches: int
+    num_enumerations: int
+    timed_out: bool
+    limit_reached: bool
+    matches: tuple[tuple[int, ...], ...]
+    filter_time: float
+    order_time: float
+    enum_time: float
+    total_time: float
+    tag: str | None = None
+    error: str | None = None
+
+    @classmethod
+    def failure(cls, request: MatchRequest, error: str) -> "MatchResponse":
+        """An error response echoing the request's routing fields."""
+        return cls(
+            dataset=request.dataset,
+            fingerprint="",
+            cache_hit=False,
+            order=(),
+            num_matches=0,
+            num_enumerations=0,
+            timed_out=False,
+            limit_reached=False,
+            matches=(),
+            filter_time=0.0,
+            order_time=0.0,
+            enum_time=0.0,
+            total_time=0.0,
+            tag=request.tag,
+            error=error,
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was served (no :attr:`error`)."""
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible payload (the JSONL response line)."""
+        payload = {
+            "dataset": self.dataset,
+            "fingerprint": self.fingerprint,
+            "cache_hit": bool(self.cache_hit),
+            "order": [int(u) for u in self.order],
+            "num_matches": int(self.num_matches),
+            "num_enumerations": int(self.num_enumerations),
+            "timed_out": bool(self.timed_out),
+            "limit_reached": bool(self.limit_reached),
+            "matches": [[int(v) for v in m] for m in self.matches],
+            "filter_time": float(self.filter_time),
+            "order_time": float(self.order_time),
+            "enum_time": float(self.enum_time),
+            "total_time": float(self.total_time),
+        }
+        if self.tag is not None:
+            payload["tag"] = self.tag
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MatchResponse":
+        """Rebuild a response from :meth:`to_dict` output."""
+        try:
+            return cls(
+                dataset=payload["dataset"],
+                fingerprint=payload["fingerprint"],
+                cache_hit=bool(payload["cache_hit"]),
+                order=tuple(int(u) for u in payload["order"]),
+                num_matches=int(payload["num_matches"]),
+                num_enumerations=int(payload["num_enumerations"]),
+                timed_out=bool(payload["timed_out"]),
+                limit_reached=bool(payload["limit_reached"]),
+                matches=tuple(
+                    tuple(int(v) for v in m) for m in payload["matches"]
+                ),
+                filter_time=float(payload["filter_time"]),
+                order_time=float(payload["order_time"]),
+                enum_time=float(payload["enum_time"]),
+                total_time=float(payload["total_time"]),
+                tag=payload.get("tag"),
+                error=payload.get("error"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ReproError(f"malformed match-response payload: {exc}") from exc

@@ -1,0 +1,469 @@
+"""The serving-grade entry point: one :class:`MatchService`, many clients.
+
+Where :class:`~repro.api.matcher.Matcher` makes one *data graph*
+prepare-once/query-many, ``MatchService`` makes the *deployment* so:
+one long-lived object fronts a multi-dataset catalog, a shared
+canonical-fingerprint plan cache, and a thread pool for concurrent
+request execution.  Clients speak :class:`~repro.service.requests.
+MatchRequest` / :class:`~repro.service.requests.MatchResponse` — plain
+data, JSON-serializable, routable.
+
+Canonicalization at the boundary
+--------------------------------
+Every incoming query is canonically relabeled
+(:func:`repro.graphs.canonical.canonical_form`) before planning, and
+every outgoing order/embedding is translated back into the client's
+vertex numbering.  Two consequences:
+
+* all members of one isomorphism class collapse onto one plan-cache
+  entry — the recurring-workload case NeuSO-style systems amortize —
+  and a cache hit skips Phases (1)–(2) entirely, reusing the live
+  candidate arrays and per-edge index of the cached plan;
+* results are *deterministic per isomorphism class*: warm and cold
+  paths run the identical canonical plan, so cache hits are
+  bit-identical to cold planning on match sequences and ``#enum``
+  (pinned by property test over generated isomorphs).
+
+Per-request ``match_limit`` / ``time_limit`` / orderer overrides never
+fork the cached plan — limits apply through a derived enumerator at
+execution time, and orderer overrides cache under their own key.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import CanonicalizationError, ReproError
+from repro.graphs.canonical import CanonicalForm, canonical_form
+from repro.graphs.graph import Graph
+from repro.matching.enumeration import Enumerator, MatchStream
+from repro.service.cache import DEFAULT_CACHE_BYTES, CacheStats, PlanCache
+from repro.service.catalog import DatasetCatalog
+from repro.service.requests import UNSET, MatchRequest, MatchResponse
+
+__all__ = ["MatchService", "ServiceStats"]
+
+#: Latency ring-buffer size for the percentile snapshot.
+LATENCY_WINDOW = 8192
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time operational snapshot of a :class:`MatchService`.
+
+    Per-phase totals count work actually performed: planning time is
+    added only on cache misses (hits re-use, they don't re-pay), while
+    enumeration time accrues on every served request.  Latency
+    percentiles are computed over a sliding window of the most recent
+    :data:`LATENCY_WINDOW` requests.
+    """
+
+    requests: int
+    errors: int
+    cache: CacheStats
+    filter_time_s: float
+    order_time_s: float
+    enum_time_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Plan-cache hit rate over every lookup so far."""
+        return self.cache.hit_rate
+
+    def to_dict(self) -> dict:
+        """JSON-compatible payload (the CLI's ``--stats`` output)."""
+        return {
+            "requests": int(self.requests),
+            "errors": int(self.errors),
+            "cache": self.cache.to_dict(),
+            "filter_time_s": float(self.filter_time_s),
+            "order_time_s": float(self.order_time_s),
+            "enum_time_s": float(self.enum_time_s),
+            "latency_p50_s": float(self.latency_p50_s),
+            "latency_p95_s": float(self.latency_p95_s),
+        }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+class MatchService:
+    """Concurrent multi-dataset subgraph-matching service.
+
+    Parameters
+    ----------
+    catalog:
+        What to serve: ``None`` (every dataset in the
+        :mod:`repro.datasets` registry), a list of registry names, a
+        mapping from name to graph/entry/overrides, or a prebuilt
+        :class:`DatasetCatalog`.
+    cache_bytes:
+        Plan-cache byte budget (ignored when a prebuilt catalog already
+        carries a cache).
+    max_workers:
+        Default thread-pool width for :meth:`submit_many`.
+
+    Examples
+    --------
+    >>> from repro.service import MatchService, MatchRequest
+    >>> from repro.graphs import erdos_renyi, extract_query
+    >>> import numpy as np
+    >>> data = erdos_renyi(150, 450, 3, seed=11)
+    >>> service = MatchService(catalog={"tiny": data})
+    >>> query = extract_query(data, 4, np.random.default_rng(2))
+    >>> cold = service.submit(MatchRequest("tiny", query))
+    >>> warm = service.submit(MatchRequest("tiny", query))
+    >>> warm.cache_hit and not cold.cache_hit
+    True
+    >>> (warm.num_matches, warm.num_enumerations) == (
+    ...     cold.num_matches, cold.num_enumerations)
+    True
+    """
+
+    def __init__(
+        self,
+        catalog=None,
+        *,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        max_workers: int | None = None,
+    ):
+        if isinstance(catalog, DatasetCatalog):
+            self.catalog = catalog
+            if self.catalog.plan_cache is None:
+                # attach (not assign): matchers the catalog already
+                # constructed must start caching too.
+                self.catalog.attach_plan_cache(PlanCache(cache_bytes))
+        else:
+            self.catalog = DatasetCatalog(catalog, plan_cache=PlanCache(cache_bytes))
+        self.plan_cache = self.catalog.plan_cache
+        self.max_workers = max_workers if max_workers is not None else 4
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._filter_time = 0.0
+        self._order_time = 0.0
+        self._enum_time = 0.0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    def _derived_enumerator(
+        self, base: Enumerator, request: MatchRequest, record: bool
+    ) -> Enumerator | None:
+        """Per-request engine honouring the request's overrides.
+
+        Returns ``None`` when the dataset's configured enumerator
+        already fits — the common case, which keeps cache-hit requests
+        allocation-free on the planning side.
+        """
+        match_limit = (
+            base.match_limit if request.match_limit is UNSET else request.match_limit
+        )
+        time_limit = (
+            base.time_limit if request.time_limit is UNSET else request.time_limit
+        )
+        if (
+            match_limit == base.match_limit
+            and time_limit == base.time_limit
+            and record == base.record_matches
+        ):
+            return None
+        return Enumerator(
+            match_limit=match_limit,
+            time_limit=time_limit,
+            record_matches=record,
+            check_every=base.check_every,
+            use_candidate_space=base.use_candidate_space,
+            strategy=base.strategy,
+        )
+
+    @staticmethod
+    def _plan_canonical(matcher, query: Graph):
+        """Canonicalize and plan; ``(cform, plan, cache_hit)``.
+
+        The budget-exceeded fallback serves the query as-is under an
+        identity mapping with caching off — correct results, no cache
+        entry, empty fingerprint.
+        """
+        try:
+            cform = canonical_form(query)
+        except CanonicalizationError:
+            identity = tuple(range(query.num_vertices))
+            cform = CanonicalForm(
+                graph=query, order=identity, mapping=identity, fingerprint=""
+            )
+            return cform, matcher._plan_cold(query), False
+        plan, cache_hit = matcher.plan_fingerprinted(cform.graph, cform.fingerprint)
+        return cform, plan, cache_hit
+
+    def submit(self, request: MatchRequest) -> MatchResponse:
+        """Serve one request; raises :class:`~repro.errors.ReproError`
+        subclasses on invalid requests (unknown dataset/orderer, bad
+        limits).
+
+        The full path: resolve the dataset's matcher, canonicalize the
+        query, plan through the shared cache (hits skip Phases (1)–(2)),
+        execute under the request's limits, and translate order and
+        embeddings back into the client's vertex numbering.
+
+        Queries are canonicalized exactly, which bounds them at
+        :data:`~repro.graphs.canonical.MAX_CANONICAL_VERTICES` vertices
+        — far above any Table III workload; larger graphs are data
+        graphs and belong in the catalog, not in a request.  A query so
+        symmetric that the canonical labeling exhausts its search budget
+        is served *uncached* instead (bounded fallback, empty
+        fingerprint on the response) — a hostile query degrades its own
+        caching, never a worker thread.
+        """
+        t_start = time.perf_counter()
+        matcher = self.catalog.matcher(request.dataset, request.orderer)
+        cform, plan, cache_hit = self._plan_canonical(matcher, request.query)
+
+        record = request.record_matches or request.stream
+        engine = self._derived_enumerator(matcher.enumerator, request, record)
+        if request.stream:
+            stream = matcher.stream_plan(plan, enumerator=engine)
+            matches = tuple(cform.to_original(m) for m in stream)
+            outcome = stream.result()
+            enum_time = outcome.elapsed
+        else:
+            result = matcher.execute(plan, enumerator=engine)
+            outcome = result.enumeration
+            enum_time = outcome.elapsed
+            matches = (
+                tuple(cform.to_original(m) for m in outcome.matches)
+                if record
+                else ()
+            )
+        total_time = time.perf_counter() - t_start
+        with self._lock:
+            self._requests += 1
+            if not cache_hit:
+                self._filter_time += plan.filter_time
+                self._order_time += plan.order_time
+            self._enum_time += enum_time
+            self._latencies.append(total_time)
+        return MatchResponse(
+            dataset=request.dataset,
+            # cform's fingerprint, not the plan's lazy property: on the
+            # budget-exceeded fallback the latter would re-run the
+            # failed canonicalization.
+            fingerprint=cform.fingerprint,
+            cache_hit=cache_hit,
+            order=tuple(cform.order[u] for u in plan.order),
+            num_matches=outcome.num_matches,
+            num_enumerations=outcome.num_enumerations,
+            timed_out=outcome.timed_out,
+            limit_reached=outcome.limit_reached,
+            matches=matches,
+            filter_time=plan.filter_time,
+            order_time=plan.order_time,
+            enum_time=enum_time,
+            total_time=total_time,
+            tag=request.tag,
+        )
+
+    def submit_many(
+        self,
+        requests: Iterable[MatchRequest],
+        max_workers: int | None = None,
+        on_error: str = "capture",
+    ) -> list[MatchResponse]:
+        """Serve a batch concurrently; responses in request order.
+
+        Fans out over a thread pool hammering the shared (documented
+        thread-safe) matchers; results are bit-identical to serial
+        :meth:`submit` calls.  ``on_error="capture"`` (default) turns a
+        request's :class:`~repro.errors.ReproError` into an error
+        response so one bad request cannot sink a batch;
+        ``on_error="raise"`` propagates the first failure.
+        """
+        if on_error not in ("capture", "raise"):
+            raise ReproError(
+                f"on_error must be 'capture' or 'raise', got {on_error!r}"
+            )
+        requests = list(requests)
+        if not requests:
+            return []
+        workers = max_workers if max_workers is not None else self.max_workers
+        workers = max(1, min(workers, len(requests)))
+
+        def serve(request: MatchRequest) -> MatchResponse:
+            try:
+                return self.submit(request)
+            except ReproError as exc:
+                if on_error == "raise":
+                    raise
+                with self._lock:
+                    self._errors += 1
+                return MatchResponse.failure(request, str(exc))
+
+        if workers == 1:
+            return [serve(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(serve, requests))
+
+    def stream(
+        self,
+        dataset: str,
+        query: Graph,
+        limit: int | None = None,
+        orderer: str | None = None,
+    ):
+        """Lazily yield embeddings of ``query``, client-numbered.
+
+        Plans through the cache like :meth:`submit` and drives the
+        suspendable streaming engine, translating each embedding back
+        through the canonical mapping as it is pulled — first-``k``
+        consumers never pay for the ``k+1``-th match.  The request is
+        metered like :meth:`submit`: counted immediately, with
+        enumeration time and latency recorded when the stream finishes
+        (exhausted or closed).
+        """
+        t_start = time.perf_counter()
+        matcher = self.catalog.matcher(dataset, orderer)
+        cform, plan, cache_hit = self._plan_canonical(matcher, query)
+        stream = matcher.stream_plan(plan, limit=limit)
+        with self._lock:
+            self._requests += 1
+            if not cache_hit:
+                self._filter_time += plan.filter_time
+                self._order_time += plan.order_time
+
+        def finalize(outcome) -> None:
+            with self._lock:
+                self._enum_time += outcome.elapsed
+                self._latencies.append(time.perf_counter() - t_start)
+
+        return _RemappedStream(stream, cform, finalize)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def invalidate(self, dataset: str | None = None) -> int:
+        """Explicitly drop cached plans: one dataset's, or all.
+
+        Call when the world behind a dataset name changes out of band
+        (graph rebuilt, model retrained).  Returns the number of plans
+        dropped.  :meth:`DatasetCatalog.add`/``remove`` invalidate
+        their dataset automatically.
+        """
+        if self.plan_cache is None:
+            return 0
+        if dataset is None:
+            return self.plan_cache.clear()
+        self.catalog.entry(dataset)  # raises registry-style on unknown names
+        return self.plan_cache.invalidate_scope(dataset)
+
+    def stats(self) -> ServiceStats:
+        """A consistent :class:`ServiceStats` snapshot."""
+        cache = (
+            self.plan_cache.stats()
+            if self.plan_cache is not None
+            else CacheStats(0, 0, 0, 0, 0, 0)
+        )
+        with self._lock:
+            window = sorted(self._latencies)
+            return ServiceStats(
+                requests=self._requests,
+                errors=self._errors,
+                cache=cache,
+                filter_time_s=self._filter_time,
+                order_time_s=self._order_time,
+                enum_time_s=self._enum_time,
+                latency_p50_s=_percentile(window, 0.50),
+                latency_p95_s=_percentile(window, 0.95),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MatchService(datasets={len(self.catalog)}, "
+            f"cached_plans={len(self.plan_cache) if self.plan_cache else 0})"
+        )
+
+
+class _RemappedStream:
+    """A :class:`MatchStream` view yielding client-numbered embeddings.
+
+    Wraps the canonical-query stream, translating each pulled embedding
+    through the request's canonical mapping while proxying the
+    underlying live counters; the service's ``finalize`` callback fires
+    exactly once when the stream finishes, so streamed traffic shows up
+    in :class:`ServiceStats` like any other request.
+    """
+
+    def __init__(self, stream: MatchStream, cform, finalize=None) -> None:
+        self._stream = stream
+        self._cform = cform
+        self._finalize = finalize
+
+    def _finish(self) -> None:
+        if self._finalize is not None:
+            callback, self._finalize = self._finalize, None
+            callback(self._stream.result())
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        try:
+            match = next(self._stream)
+        except StopIteration:
+            self._finish()
+            raise
+        if self._stream.exhausted:
+            # The limit fired on this pull: the search is over.
+            self._finish()
+        return self._cform.to_original(match)
+
+    def close(self) -> None:
+        """Stop the underlying search early."""
+        self._stream.close()
+        self._finish()
+
+    def result(self):
+        """The underlying stream's batch-shaped outcome."""
+        return self._stream.result()
+
+    @property
+    def num_matches(self) -> int:
+        """Embeddings yielded so far."""
+        return self._stream.num_matches
+
+    @property
+    def num_enumerations(self) -> int:
+        """``#enum`` explored up to the last pull."""
+        return self._stream.num_enumerations
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the wall-clock deadline fired during the search."""
+        return self._stream.timed_out
+
+    @property
+    def limit_reached(self) -> bool:
+        """Whether the match limit stopped the stream."""
+        return self._stream.limit_reached
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the stream is finished (by any cause)."""
+        return self._stream.exhausted
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds from stream creation to the last pull."""
+        return self._stream.elapsed

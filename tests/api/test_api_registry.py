@@ -44,6 +44,25 @@ class TestResolution:
             assert "definitely-not-registered" in message
             assert valid in message  # the valid choices are listed
 
+    def test_unknown_name_choices_are_sorted(self):
+        # The "valid choices" listing is part of the error contract:
+        # sorted, comma-joined canonical names — both so users can scan
+        # it and so downstream surfaces (the service catalog) can match
+        # the style.  Pin it for every registry kind.
+        from repro.api.registry import (
+            enumerator_registry,
+            filter_registry,
+            orderer_registry,
+        )
+
+        for registry in (filter_registry, orderer_registry, enumerator_registry):
+            with pytest.raises(ReproError) as exc_info:
+                registry.canonical("definitely-not-registered")
+            message = str(exc_info.value)
+            listed = message.split("valid choices: ", 1)[1].split(", ")
+            assert listed == sorted(listed)
+            assert tuple(listed) == registry.names()
+
     def test_wrong_type_rejected(self):
         with pytest.raises(RegistryError):
             make_orderer(42)

@@ -1,0 +1,119 @@
+"""Thread-safety contract of a shared :class:`Matcher`.
+
+``MatchService.submit_many`` fans requests out over a thread pool that
+hammers one matcher per dataset.  This suite documents and pins the
+contract that makes that sound: concurrent ``match`` and ``stream``
+calls on one shared matcher are bit-identical to the same calls run
+serially — match sequences, ``#enum``, orders, flags, everything.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import Matcher
+from repro.graphs import erdos_renyi, extract_query
+from repro.service import PlanCache
+
+N_THREADS = 8
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def data():
+    return erdos_renyi(180, 620, 3, seed=31)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    rng = np.random.default_rng(11)
+    return [extract_query(data, 5, rng) for _ in range(6)]
+
+
+def run_workload(matcher, queries, thread_id):
+    """Interleave batch matches and streamed pulls over the queries."""
+    results = []
+    for round_no in range(ROUNDS):
+        for i, query in enumerate(queries):
+            if (i + round_no + thread_id) % 2 == 0:
+                result = matcher.match(query)
+                results.append(
+                    (
+                        "match",
+                        i,
+                        result.enumeration.matches,
+                        result.num_matches,
+                        result.num_enumerations,
+                        tuple(result.order),
+                    )
+                )
+            else:
+                stream = matcher.stream(query, limit=4)
+                pulled = tuple(stream)
+                results.append(
+                    ("stream", i, pulled, stream.num_matches,
+                     stream.num_enumerations, None)
+                )
+    return results
+
+
+class TestSharedMatcherConcurrency:
+    def test_hammered_matcher_bit_identical_to_serial(self, data, queries):
+        matcher = Matcher(data, record_matches=True, time_limit=None)
+        # The serial reference: each thread's workload, run one by one.
+        expected = {
+            tid: run_workload(matcher, queries, tid) for tid in range(N_THREADS)
+        }
+
+        outputs = {}
+        errors = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(tid):
+            try:
+                barrier.wait()  # maximize interleaving
+                outputs[tid] = run_workload(matcher, queries, tid)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((tid, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        for tid in range(N_THREADS):
+            assert outputs[tid] == expected[tid], f"thread {tid} diverged"
+
+    def test_hammered_cached_matcher_stays_bit_identical(self, data, queries):
+        # Same contract with the plan cache in the loop: concurrent
+        # lookups, insertions and shared cached contexts.
+        matcher = Matcher(
+            data, record_matches=True, time_limit=None,
+            plan_cache=PlanCache(max_bytes=1 << 22),
+        )
+        expected = run_workload(matcher, queries, 0)
+
+        outputs = {}
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(tid):
+            barrier.wait()
+            outputs[tid] = run_workload(matcher, queries, 0)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for tid in range(N_THREADS):
+            assert outputs[tid] == expected
+        assert matcher.plan_cache.stats().hits > 0

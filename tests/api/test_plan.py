@@ -125,3 +125,58 @@ class TestSerialization:
             QueryPlan.from_dict({**payload, "version": 999})
         with pytest.raises(ReproError, match="malformed"):
             QueryPlan.from_dict({"version": 1})
+
+    def test_to_dict_is_json_safe_under_numpy_scalars(self, instance, matcher):
+        # A plan deliberately rebuilt with numpy scalar fields — the
+        # shapes that leak out of array code — must still serialize:
+        # to_dict owns the coercion to native types.
+        import dataclasses
+
+        _, _, queries = instance
+        plan = matcher.plan(queries[1])
+        poisoned = dataclasses.replace(
+            plan,
+            order=tuple(np.int64(u) for u in plan.order),
+            candidate_counts=tuple(np.int32(c) for c in plan.candidate_counts),
+            filter_time=np.float64(plan.filter_time),
+            order_time=np.float32(plan.order_time),
+            build_time=np.float64(plan.build_time),
+            estimated_cost=np.float64(plan.estimated_cost),
+            candidate_space_bytes=np.int64(plan.candidate_space_bytes),
+        )
+        payload = json.loads(json.dumps(poisoned.to_dict()))  # real JSON
+        restored = QueryPlan.from_dict(payload)
+        assert restored.order == plan.order
+        assert restored.candidate_counts == plan.candidate_counts
+        for value in payload.values():
+            assert not type(value).__module__.startswith("numpy")
+
+    def test_fingerprint_travels_and_matches_canonical_hash(
+        self, instance, matcher
+    ):
+        from repro.graphs.canonical import canonical_fingerprint
+
+        _, _, queries = instance
+        plan = matcher.plan(queries[2])
+        assert plan.fingerprint == canonical_fingerprint(queries[2])
+        payload = plan.to_dict()
+        assert payload["fingerprint"] == plan.fingerprint
+        # The recorded fingerprint is seeded on restore (not recomputed).
+        restored = QueryPlan.from_dict(payload)
+        assert restored.__dict__.get("fingerprint") == plan.fingerprint
+        assert restored.fingerprint == plan.fingerprint
+
+    def test_uncanonicalizable_plans_still_serialize(self, instance):
+        # Plans for queries the canonicalizer refuses (too large) must
+        # keep serializing — fingerprint is simply omitted.
+        from repro.graphs import erdos_renyi
+        from repro.graphs.canonical import MAX_CANONICAL_VERTICES
+
+        data, _, _ = instance
+        big = erdos_renyi(MAX_CANONICAL_VERTICES + 8, 900, 3, seed=9)
+        matcher = Matcher(data, filter="ldf")
+        plan = matcher.plan(big)
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert "fingerprint" not in payload
+        restored = QueryPlan.from_dict(payload)
+        assert restored.order == plan.order

@@ -69,6 +69,16 @@ class TestLoading:
         with pytest.raises(DatasetError):
             load_dataset("imdb")
 
+    def test_unknown_dataset_lists_sorted_choices(self):
+        # Registry-style error contract: sorted, comma-joined names —
+        # the same shape the component registries and the service
+        # catalog emit.
+        with pytest.raises(DatasetError) as excinfo:
+            load_dataset("imdb")
+        message = str(excinfo.value)
+        listed = message.split("valid choices: ", 1)[1].split(", ")
+        assert listed == sorted(DATASETS)
+
     def test_dataset_stats_shared(self):
         stats = dataset_stats("citeseer")
         assert stats is dataset_stats("citeseer")

@@ -1,0 +1,75 @@
+"""Tests for the ``repro-serve`` JSONL CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.graphs import extract_query
+from repro.service.cli import main
+from repro.service.requests import MatchRequest, MatchResponse
+
+
+@pytest.fixture(scope="module")
+def request_lines():
+    data = load_dataset("citeseer")
+    rng = np.random.default_rng(3)
+    lines = []
+    for i in range(3):
+        query = extract_query(data, 4, rng)
+        request = MatchRequest(
+            "citeseer", query, match_limit=25, tag=f"q{i}",
+            record_matches=(i == 0),
+        )
+        lines.append(json.dumps(request.to_dict()))
+    return lines
+
+
+class TestServeCLI:
+    def test_requests_file_to_responses_file(self, tmp_path, request_lines, capsys):
+        req_path = tmp_path / "requests.jsonl"
+        out_path = tmp_path / "responses.jsonl"
+        req_path.write_text("\n".join(request_lines) + "\n\n")  # blank line ok
+        code = main(
+            [str(req_path), "--output", str(out_path), "--workers", "2",
+             "--datasets", "citeseer", "--stats"]
+        )
+        assert code == 0
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == len(request_lines) + 1  # + stats line
+        responses = [
+            MatchResponse.from_dict(json.loads(line)) for line in lines[:-1]
+        ]
+        assert [r.tag for r in responses] == ["q0", "q1", "q2"]
+        assert all(r.ok for r in responses)
+        assert responses[0].matches  # record_matches honoured end to end
+        stats = json.loads(lines[-1])["stats"]
+        assert stats["requests"] == 3
+        summary = capsys.readouterr().err
+        assert "3 responses" in summary
+
+    def test_error_responses_set_exit_code(self, tmp_path, request_lines):
+        req_path = tmp_path / "requests.jsonl"
+        bad = json.dumps(
+            {"dataset": "not-a-dataset", "query": {"labels": [0], "edges": []}}
+        )
+        req_path.write_text(request_lines[0] + "\n" + bad + "\n")
+        out_path = tmp_path / "out.jsonl"
+        code = main([str(req_path), "--output", str(out_path)])
+        assert code == 1
+        responses = [
+            json.loads(line) for line in out_path.read_text().splitlines()
+        ]
+        assert "error" not in responses[0]
+        assert "valid choices" in responses[1]["error"]
+
+    def test_malformed_request_file_fails_cleanly(self, tmp_path, capsys):
+        req_path = tmp_path / "requests.jsonl"
+        req_path.write_text("{not json\n")
+        assert main([str(req_path)]) == 1
+        assert "request line 1" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "repro-serve:" in capsys.readouterr().err

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.core",
     "repro.datasets",
     "repro.bench",
+    "repro.service",
 ]
 
 
@@ -51,6 +52,22 @@ class TestExports:
     def test_facade_surface_reachable_from_top_level(self):
         for name in ("Matcher", "QueryPlan", "MatchStream", "available_components"):
             assert hasattr(repro, name)
+
+    def test_service_surface_reachable_from_top_level(self):
+        for name in (
+            "MatchService", "MatchRequest", "MatchResponse",
+            "PlanCache", "ServiceStats",
+        ):
+            assert hasattr(repro, name)
+
+    def test_service_docstring_example_executes(self):
+        import doctest
+
+        import repro.service
+
+        outcome = doctest.testmod(repro.service, verbose=False)
+        assert outcome.attempted > 0
+        assert outcome.failed == 0
 
     def test_facade_docstring_carries_the_canonical_example(self):
         import repro.api
