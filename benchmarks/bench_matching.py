@@ -42,7 +42,7 @@ from repro.graphs.canonical import canonical_form, relabel_graph
 from repro.matching.enumeration_iter import _bind_depths, intersect_sorted
 from repro.service import PlanCache
 
-SCHEMA = 2
+SCHEMA = 3
 
 #: (dataset, query size, total workload queries) per profile.  Small
 #: graphs keep the quick profile CI-sized; the full profile adds the
@@ -57,6 +57,15 @@ FULL_WORKLOADS = (
 
 MATCH_LIMIT = 100_000
 TIME_LIMIT = 60.0
+
+#: Shard counts for the partitioned-matching scenario; 1 measures the
+#: pure partitioning overhead, 4 the memory win.
+SHARD_COUNTS = (1, 2, 4)
+
+#: Allowed relative sharded-vs-unsharded enumeration slowdown.  Thread
+#: speedup is out of scope (the GIL serializes the per-shard work);
+#: the gate pins that fan-out + merge bookkeeping stays cheap.
+SHARDED_OVERHEAD_TOLERANCE = 0.15
 
 
 def _calibrate() -> float:
@@ -300,6 +309,75 @@ def bench_selfcheck(workloads, repeats: int) -> dict:
     }
 
 
+def bench_sharded(workloads, repeats: int) -> list[dict]:
+    """Partitioned matching vs the single-shard oracle.
+
+    For each workload and shard count: per-query match-count agreement
+    with the unsharded run (the sequence-level bit-identity is pinned by
+    the tier-1 suite; counts are the honest check at benchmark scale),
+    the peak *per-shard* candidate-space footprint — the figure a
+    placement scheduler sizes a worker by — and the enumeration
+    wall-clock ratio against unsharded, merge bookkeeping included.
+    """
+    rows = []
+    for dataset, size, count in workloads:
+        data = load_dataset(dataset)
+        queries = query_workload(dataset, size=size, count=count, data=data).eval
+        base = Matcher(
+            data, filter="gql", orderer="ri",
+            match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
+        )
+        base_plans = [base.plan(q) for q in queries]
+        base_peak = max((p.candidate_space_bytes for p in base_plans), default=0)
+        base_best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            base_results = [base.execute(p) for p in base_plans]
+            elapsed = time.perf_counter() - start
+            base_best = elapsed if base_best is None else min(base_best, elapsed)
+        base_counts = [r.num_matches for r in base_results]
+        for shards in SHARD_COUNTS:
+            matcher = Matcher(
+                data, filter="gql", orderer="ri", shards=shards,
+                match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
+            )
+            plans = [matcher.plan(q) for q in queries]
+            peak = max((p.peak_shard_space_bytes for p in plans), default=0)
+            best = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                results = [matcher.execute(p) for p in plans]
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            agree = [r.num_matches for r in results] == base_counts
+            merge_time = sum(r.merge_time for r in results)
+            ratio = best / max(base_best, 1e-9)
+            row = {
+                "dataset": dataset,
+                "query_size": size,
+                "shards": shards,
+                "agree": agree,
+                "matches": sum(r.num_matches for r in results),
+                "num_enumerations": sum(r.num_enumerations for r in results),
+                "enum_time_s": round(best, 6),
+                "unsharded_enum_time_s": round(base_best, 6),
+                "vs_unsharded": round(ratio, 3),
+                "merge_time_s": round(merge_time, 6),
+                "peak_shard_space_bytes": int(peak),
+                "unsharded_space_bytes": int(base_peak),
+            }
+            rows.append(row)
+            print(
+                f"  {dataset:<10} shards={shards}  "
+                f"enum={best * 1e3:7.1f}ms ({ratio:5.2f}x unsharded)  "
+                f"merge={merge_time * 1e3:5.1f}ms  "
+                f"shard-peak={peak / 1024:7.1f}KiB "
+                f"(vs {base_peak / 1024:7.1f}KiB)  "
+                f"{'counts agree' if agree else 'COUNT DISAGREEMENT'}"
+            )
+    return rows
+
+
 def _relabeled_isomorph(query, seed: int):
     """An isomorphic copy of ``query`` under a random vertex permutation."""
     rng = np.random.default_rng(seed)
@@ -481,6 +559,8 @@ def main(argv: list[str] | None = None) -> int:
     selfcheck = bench_selfcheck(workloads, repeats)
     print("repeated-workload scenario (cold planning vs plan-cache hits)")
     plan_cache = bench_plan_cache(workloads, repeats)
+    print("partitioned-matching scenario (edge-cut shards vs single shard)")
+    sharded = bench_sharded(workloads, repeats)
 
     report = {
         "schema": SCHEMA,
@@ -488,6 +568,7 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": rows,
         "selfcheck": selfcheck,
         "plan_cache": plan_cache,
+        "sharded": sharded,
         "totals": {
             "matches": sum(r["matches"] for r in rows),
             "num_enumerations": sum(r["num_enumerations"] for r in rows),
@@ -517,6 +598,22 @@ def main(argv: list[str] | None = None) -> int:
             f"({plan_cache['speedup']:.2f}x)"
         )
         ok = False
+    if not all(row["agree"] for row in sharded):
+        print("SHARDED FAILED: match counts disagree with the unsharded run")
+        ok = False
+    # Aggregate overhead gate per shard count: fan-out + merge must stay
+    # within tolerance of the single-shard oracle's wall-clock.
+    for shards in SHARD_COUNTS:
+        group = [row for row in sharded if row["shards"] == shards]
+        total = sum(row["enum_time_s"] for row in group)
+        base_total = sum(row["unsharded_enum_time_s"] for row in group)
+        if total > base_total * (1.0 + SHARDED_OVERHEAD_TOLERANCE):
+            print(
+                f"SHARDED FAILED: shards={shards} enumeration "
+                f"{total / max(base_total, 1e-9):.2f}x unsharded "
+                f"(tolerance +{SHARDED_OVERHEAD_TOLERANCE:.0%})"
+            )
+            ok = False
     if args.compare is not None:
         baseline = json.loads(Path(args.compare).read_text())
         ok &= compare_against_baseline(report, baseline, args.tolerance)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Partitioned matching: shard a data graph, match, and stay bit-identical.
+
+A single flat candidate space sizes with the whole data graph; an
+edge-cut :class:`repro.graphs.ShardedGraph` bounds the *per-shard* peak
+instead — the figure a multiprocess placement scheduler would budget
+per worker.  This example partitions the (synthesized) CiteSeer graph,
+answers the same query workload unsharded and with 4 degree-balanced
+shards, and shows the contract the matching layer guarantees:
+
+* the match *sequences* (not just sets) are identical — per-shard runs
+  merge back into the canonical global enumeration order;
+* the peak per-shard candidate space is a fraction of the unsharded
+  footprint, because halos are restricted to global candidates;
+* per-shard plans expose owned/halo sizes and footprints for placement.
+
+Usage::
+
+    python examples/sharded_matching.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Matcher, load_dataset
+from repro.graphs import ShardedGraph, extract_query
+
+NUM_SHARDS = 4
+
+
+def main() -> None:
+    data = load_dataset("citeseer")
+    sharded = ShardedGraph(data, NUM_SHARDS, mode="degree")
+    print(f"partitioned matching on {data} (synthesized CiteSeer stand-in)")
+    print(
+        f"layout: {NUM_SHARDS} degree-balanced shards, ownership ranges "
+        + " ".join(f"[{lo},{hi})" for lo, hi in sharded.ranges)
+    )
+
+    rng = np.random.default_rng(7)
+    queries = [extract_query(data, 6, rng) for _ in range(4)]
+
+    # Two matchers over the same graph: one shard of truth vs the cut.
+    unsharded = Matcher(data, match_limit=None, record_matches=True)
+    cut = Matcher(sharded, match_limit=None, record_matches=True)
+
+    print(
+        "\nquery | matches | agree | unsharded space | peak shard space | x smaller"
+    )
+    print("------+---------+-------+-----------------+------------------+----------")
+    all_agree = True
+    for i, query in enumerate(queries):
+        base_plan = unsharded.plan(query)
+        cut_plan = cut.plan(query)
+        base = unsharded.execute(base_plan)
+        result = cut.execute(cut_plan)
+        agree = base.enumeration.matches == result.enumeration.matches
+        all_agree = all_agree and agree
+        peak = cut_plan.peak_shard_space_bytes
+        ratio = base_plan.candidate_space_bytes / max(peak, 1)
+        print(
+            f"   q{i} | {base.num_matches:7d} | {'yes' if agree else 'NO':>5} "
+            f"| {base_plan.candidate_space_bytes / 1024:12.1f} kB "
+            f"| {peak / 1024:13.1f} kB | {ratio:8.1f}x"
+        )
+
+    # Placement detail for the last query: what each worker would hold.
+    print("\nper-shard detail (last query):")
+    print("shard |  owned | local |V| |  halo | root cands | space bytes")
+    print("------+--------+-----------+-------+------------+------------")
+    for sp in cut_plan.shard_plans:
+        lo, hi = sp.owned
+        print(
+            f"   s{sp.shard_id} | {hi - lo:6d} | {sp.num_vertices:9d} "
+            f"| {sp.halo:5d} | {sp.root_candidates:10d} "
+            f"| {sp.candidate_space_bytes:11d}"
+        )
+    outcomes = result.shards or ()
+    merged = sum(o.num_matches for o in outcomes)
+    print(
+        f"\nmerge: {merged} per-shard matches -> {result.num_matches} global "
+        f"(merge overhead {result.merge_time * 1e3:.2f} ms)"
+    )
+    print(f"all queries: sharded matches identical to unsharded: {all_agree}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,330 @@
+"""Edge-cut sharding of CSR data graphs with k-hop halo replication.
+
+A :class:`ShardedGraph` splits a data graph's vertex ids into
+``num_shards`` contiguous **ownership ranges** — the placement decision a
+multiprocess scheduler would route on.  Contiguity is deliberate: over
+the repo's canonical CSR layout a range is just an ``indptr`` slice, the
+local→global id map of any extracted shard is monotone (so sorted
+neighbour lists and candidate arrays stay sorted under remapping), and
+per-shard match sequences concatenate back into the global
+lexicographic enumeration order without re-sorting.
+
+Ranges come in two flavours:
+
+* ``mode="range"`` — equal vertex counts;
+* ``mode="degree"`` — boundaries chosen by ``searchsorted`` over
+  ``indptr`` so the summed degree (CSR payload) per shard is balanced,
+  the edge-cut analogue of weighting vertices by adjacency size.
+
+Ownership alone cannot enumerate embeddings that cross a boundary, so a
+shard is *materialized* (:meth:`ShardedGraph.extract`) together with a
+**halo**: the k-hop closure of its seed vertices, replicated read-only
+into the shard's local graph.  With ``k`` at least the eccentricity of
+the matching order's root in the query, every embedding rooted at an
+owned seed lies entirely inside the closure — the halo guarantee the
+matching layer's root-ownership rule builds on (each embedding is
+counted exactly once, by the shard owning its root image).  The closure
+(:func:`khop_closure`) optionally expands only through an ``allowed``
+vertex mask; the matching layer passes the union of the global candidate
+sets, which shrinks halos from "most of the graph" to the
+query-relevant sliver of it (every embedding vertex is a global
+candidate of some query vertex, so restricting expansion to candidates
+loses nothing).
+
+:class:`GraphShard` carries the extracted local :class:`Graph`, the
+monotone ``to_global`` map, the local range of owned vertices, and an
+honest :meth:`GraphShard.memory_bytes`.  :class:`ShardedGraph` itself
+stays cheap — source + ranges — because halos depend on the query (its
+root's candidates and eccentricity) and are built at plan time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "PARTITION_MODES",
+    "GraphShard",
+    "ShardedGraph",
+    "gather_neighbors",
+    "khop_closure",
+    "partition_ranges",
+    "query_eccentricity",
+]
+
+#: Supported ownership-range balancing strategies.
+PARTITION_MODES: tuple[str, ...] = ("range", "degree")
+
+
+def partition_ranges(
+    graph: Graph, num_shards: int, mode: str = "range"
+) -> tuple[tuple[int, int], ...]:
+    """Contiguous ownership ranges ``[(lo, hi), ...)`` covering ``V(G)``.
+
+    Always returns exactly ``num_shards`` ranges; with more shards than
+    vertices the tail ranges are empty (``lo == hi``).  ``"range"``
+    balances vertex counts, ``"degree"`` balances summed degrees by
+    cutting at quantiles of ``indptr`` (the CSR prefix-degree array), so
+    a hub-heavy prefix does not land wholesale in shard 0.
+    """
+    if num_shards < 1:
+        raise InvalidGraphError(f"num_shards must be >= 1, got {num_shards}")
+    if mode not in PARTITION_MODES:
+        raise InvalidGraphError(
+            f"unknown partition mode {mode!r}; options: {PARTITION_MODES}"
+        )
+    n = graph.num_vertices
+    if mode == "range" or graph.indices.size == 0:
+        bounds = [n * s // num_shards for s in range(num_shards + 1)]
+    else:
+        indptr = graph.indptr
+        total = int(indptr[-1])
+        targets = [total * s / num_shards for s in range(1, num_shards)]
+        cuts = np.searchsorted(indptr, targets, side="left").tolist()
+        bounds = [0]
+        for cut in cuts:
+            # Boundaries must be non-decreasing and inside [0, n] even
+            # when many quantiles collapse onto one hub vertex.
+            bounds.append(min(n, max(bounds[-1], int(cut))))
+        bounds.append(n)
+    return tuple(
+        (bounds[s], bounds[s + 1]) for s in range(num_shards)
+    )
+
+
+def query_eccentricity(query: Graph, root: int) -> int | None:
+    """BFS eccentricity of ``root`` in ``query``; ``None`` if some vertex
+    is unreachable (disconnected queries have no bounded halo depth)."""
+    n = query.num_vertices
+    if n == 0:
+        return None
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        nbrs = gather_neighbors(query.indptr, query.indices, frontier)
+        fresh = np.unique(nbrs[dist[nbrs] < 0])
+        if fresh.size == 0:
+            break
+        depth += 1
+        dist[fresh] = depth
+        frontier = fresh
+    if (dist < 0).any():
+        return None
+    return depth
+
+
+def gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> np.ndarray:
+    """Concatenated neighbour lists of ``vertices`` (one vectorized gather).
+
+    Equivalent to ``np.concatenate([indices[indptr[v]:indptr[v+1]] ...])``
+    without the per-vertex Python loop: the flat output position ``j`` is
+    mapped back into the right CSR window by repeating each window's
+    start-offset delta ``counts[i]`` times.
+    """
+    starts = indptr[vertices]
+    counts = indptr[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    shifts = np.repeat(starts - (np.cumsum(counts) - counts), counts)
+    return indices[np.arange(total, dtype=np.int64) + shifts]
+
+
+def khop_closure(
+    graph: Graph,
+    seeds: np.ndarray,
+    depth: int,
+    allowed: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sorted vertex ids within ``depth`` hops of ``seeds``.
+
+    ``allowed`` (a boolean mask over ``V(G)``) restricts which vertices
+    the BFS may *enter*; seeds are always included.  This is the halo
+    builder: with ``allowed`` = the union of global candidate sets and
+    ``depth`` = the root's query eccentricity, the closure contains every
+    vertex any embedding rooted at a seed can touch.
+    """
+    if depth < 0:
+        raise InvalidGraphError(f"closure depth must be >= 0, got {depth}")
+    n = graph.num_vertices
+    seeds = np.asarray(seeds, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    seen[seeds] = True
+    frontier = np.unique(seeds)
+    for _ in range(depth):
+        if frontier.size == 0:
+            break
+        nbrs = np.unique(gather_neighbors(graph.indptr, graph.indices, frontier))
+        if allowed is not None and nbrs.size:
+            nbrs = nbrs[allowed[nbrs]]
+        fresh = nbrs[~seen[nbrs]] if nbrs.size else nbrs
+        if fresh.size == 0:
+            break
+        seen[fresh] = True
+        frontier = fresh
+    return np.flatnonzero(seen).astype(np.int64, copy=False)
+
+
+class GraphShard:
+    """One materialized shard: local graph, id maps, ownership window.
+
+    ``graph`` is the subgraph of the source induced on the (sorted)
+    kept vertex set; local id ``i`` is the global vertex
+    ``to_global[i]``, and because the kept set is sorted the map is
+    strictly increasing — local sorted arrays remap to global sorted
+    arrays and vice versa.  Owned vertices (those in ``[lo, hi)``)
+    occupy the contiguous local window ``[owned_start, owned_stop)``;
+    everything else is halo, replicated read-only.
+    """
+
+    __slots__ = ("shard_id", "lo", "hi", "graph", "to_global", "owned_start", "owned_stop")
+
+    def __init__(
+        self,
+        shard_id: int,
+        lo: int,
+        hi: int,
+        graph: Graph,
+        to_global: np.ndarray,
+    ):
+        self.shard_id = int(shard_id)
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.graph = graph
+        self.to_global = to_global
+        self.owned_start = int(np.searchsorted(to_global, lo, side="left"))
+        self.owned_stop = int(np.searchsorted(to_global, hi, side="left"))
+
+    @property
+    def num_vertices(self) -> int:
+        """Local graph size (owned + halo)."""
+        return self.graph.num_vertices
+
+    @property
+    def owned_count(self) -> int:
+        """Locally present vertices this shard owns."""
+        return self.owned_stop - self.owned_start
+
+    @property
+    def halo_size(self) -> int:
+        """Replicated (non-owned) local vertices."""
+        return self.num_vertices - self.owned_count
+
+    def to_local(self, global_ids: np.ndarray) -> np.ndarray:
+        """Local ids of ``global_ids`` (which must all be present)."""
+        local = np.searchsorted(self.to_global, np.asarray(global_ids, dtype=np.int64))
+        if local.size and (
+            local.max(initial=-1) >= self.to_global.size
+            or (self.to_global[local] != global_ids).any()
+        ):
+            raise InvalidGraphError("vertex not present in this shard")
+        return local.astype(np.int64, copy=False)
+
+    def owns_local(self, local_id: int) -> bool:
+        """Whether local vertex ``local_id`` is owned (not halo)."""
+        return self.owned_start <= local_id < self.owned_stop
+
+    def memory_bytes(self) -> int:
+        """Local CSR footprint plus the id map."""
+        return self.graph.memory_bytes() + int(self.to_global.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"GraphShard(id={self.shard_id}, owned=[{self.lo},{self.hi}), "
+            f"|V|={self.num_vertices}, halo={self.halo_size})"
+        )
+
+
+class ShardedGraph:
+    """Edge-cut placement of one data graph: source + ownership ranges.
+
+    The container is deliberately light — halos depend on the query, so
+    shard materialization (:meth:`extract`) happens at plan time with a
+    caller-chosen kept vertex set.  Two ``ShardedGraph``\\ s are equal
+    when source graph and layout agree, which is what lets plan-cache
+    keys include the layout without hashing shard contents.
+    """
+
+    def __init__(self, source: Graph, num_shards: int, mode: str = "range"):
+        self.source = source
+        self.ranges = partition_ranges(source, num_shards, mode)
+        self.mode = mode
+
+    @property
+    def num_shards(self) -> int:
+        """Number of ownership ranges (some may be empty)."""
+        return len(self.ranges)
+
+    @property
+    def layout(self) -> tuple[int, str]:
+        """``(num_shards, mode)`` — the cache-key-able layout token."""
+        return (self.num_shards, self.mode)
+
+    def owner_of(self, vertex: int) -> int:
+        """Shard id owning global ``vertex``."""
+        if not 0 <= vertex < self.source.num_vertices:
+            raise InvalidGraphError(f"vertex {vertex} outside the source graph")
+        for shard_id, (lo, hi) in enumerate(self.ranges):
+            if lo <= vertex < hi:
+                return shard_id
+        raise InvalidGraphError(f"vertex {vertex} not covered by any range")
+
+    def extract(self, shard_id: int, keep: np.ndarray) -> GraphShard:
+        """Materialize shard ``shard_id`` over the kept vertex set.
+
+        ``keep`` is a sorted array of global vertex ids (typically a
+        :func:`khop_closure` of the shard's seeds); the local graph is
+        the induced subgraph on it, built CSR-natively: gather all kept
+        vertices' neighbour windows, drop neighbours outside the set,
+        and remap survivors through one ``searchsorted``.  Sortedness of
+        every neighbour list survives because the remap is monotone.
+        """
+        lo, hi = self.ranges[shard_id]
+        keep = np.asarray(keep, dtype=np.int64)
+        indptr, indices = self.source.indptr, self.source.indices
+        member = np.zeros(self.source.num_vertices, dtype=bool)
+        member[keep] = True
+        nbrs = gather_neighbors(indptr, indices, keep)
+        counts = indptr[keep + 1] - indptr[keep]
+        inside = member[nbrs]
+        # Per-source-vertex survivor counts via segment ids, then the
+        # local CSR from their prefix sum.
+        seg = np.repeat(np.arange(keep.size, dtype=np.int64), counts)
+        local_counts = np.bincount(seg[inside], minlength=keep.size)
+        local_indptr = np.zeros(keep.size + 1, dtype=np.int64)
+        np.cumsum(local_counts, out=local_indptr[1:])
+        local_indices = np.searchsorted(keep, nbrs[inside]).astype(np.int64)
+        local_graph = Graph.from_csr(
+            self.source.labels[keep].copy(), local_indptr, local_indices
+        )
+        return GraphShard(shard_id, lo, hi, local_graph, keep)
+
+    def memory_bytes(self) -> int:
+        """Source CSR footprint plus the range table.
+
+        Materialized :class:`GraphShard`\\ s are per-query artifacts and
+        account for themselves (see :meth:`GraphShard.memory_bytes` and
+        the per-shard figures recorded on plans).
+        """
+        return self.source.memory_bytes() + 16 * len(self.ranges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardedGraph):
+            return NotImplemented
+        return self.source == other.source and self.ranges == other.ranges
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.ranges))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedGraph({self.source!r}, shards={self.num_shards}, "
+            f"mode={self.mode!r})"
+        )

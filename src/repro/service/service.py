@@ -36,7 +36,7 @@ import time
 from collections import deque
 from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import CanonicalizationError, ReproError
 from repro.graphs.canonical import CanonicalForm, canonical_form
@@ -60,7 +60,10 @@ class ServiceStats:
     added only on cache misses (hits re-use, they don't re-pay), while
     enumeration time accrues on every served request.  Latency
     percentiles are computed over a sliding window of the most recent
-    :data:`LATENCY_WINDOW` requests.
+    :data:`LATENCY_WINDOW` requests.  ``shard_enum_time_s`` attributes
+    enumeration seconds per shard, keyed ``"<dataset>/<shard_id>"`` —
+    populated only by sharded datasets, and summing to more than the
+    wall clock when the shard pool overlaps shards.
     """
 
     requests: int
@@ -71,6 +74,7 @@ class ServiceStats:
     enum_time_s: float
     latency_p50_s: float
     latency_p95_s: float
+    shard_enum_time_s: dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -88,6 +92,10 @@ class ServiceStats:
             "enum_time_s": float(self.enum_time_s),
             "latency_p50_s": float(self.latency_p50_s),
             "latency_p95_s": float(self.latency_p95_s),
+            "shard_enum_time_s": {
+                key: float(value)
+                for key, value in sorted(self.shard_enum_time_s.items())
+            },
         }
 
 
@@ -155,7 +163,27 @@ class MatchService:
         self._filter_time = 0.0
         self._order_time = 0.0
         self._enum_time = 0.0
+        self._shard_enum_time: dict[str, float] = {}
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._shard_executor: ThreadPoolExecutor | None = None
+
+    def _shard_pool(self) -> ThreadPoolExecutor:
+        """The dedicated pool sharded plans fan per-shard work through.
+
+        Separate from ``submit_many``'s per-batch request pools on
+        purpose: shard sub-tasks submitted back into the request pool
+        could deadlock behind the very requests waiting on them.  Built
+        lazily so unsharded deployments never pay for it; double-checked
+        under the stats lock.
+        """
+        if self._shard_executor is None:
+            with self._lock:
+                if self._shard_executor is None:
+                    self._shard_executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-shard",
+                    )
+        return self._shard_executor
 
     # ------------------------------------------------------------------
     # Request execution
@@ -234,13 +262,18 @@ class MatchService:
 
         record = request.record_matches or request.stream
         engine = self._derived_enumerator(matcher.enumerator, request, record)
+        shard_outcomes = None
         if request.stream:
             stream = matcher.stream_plan(plan, enumerator=engine)
             matches = tuple(cform.to_original(m) for m in stream)
             outcome = stream.result()
             enum_time = outcome.elapsed
         else:
-            result = matcher.execute(plan, enumerator=engine)
+            result = matcher.execute(
+                plan,
+                enumerator=engine,
+                executor=self._shard_pool() if plan.sharded else None,
+            )
             outcome = result.enumeration
             enum_time = outcome.elapsed
             matches = (
@@ -248,6 +281,7 @@ class MatchService:
                 if record
                 else ()
             )
+            shard_outcomes = result.shards
         total_time = time.perf_counter() - t_start
         with self._lock:
             self._requests += 1
@@ -255,6 +289,13 @@ class MatchService:
                 self._filter_time += plan.filter_time
                 self._order_time += plan.order_time
             self._enum_time += enum_time
+            if shard_outcomes:
+                for shard_outcome in shard_outcomes:
+                    key = f"{request.dataset}/{shard_outcome.shard_id}"
+                    self._shard_enum_time[key] = (
+                        self._shard_enum_time.get(key, 0.0)
+                        + shard_outcome.elapsed
+                    )
             self._latencies.append(total_time)
         return MatchResponse(
             dataset=request.dataset,
@@ -386,6 +427,7 @@ class MatchService:
                 enum_time_s=self._enum_time,
                 latency_p50_s=_percentile(window, 0.50),
                 latency_p95_s=_percentile(window, 0.95),
+                shard_enum_time_s=dict(self._shard_enum_time),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

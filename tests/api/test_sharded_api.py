@@ -1,0 +1,145 @@
+"""Sharded plans through the facade and the service: the serving story.
+
+The partition layer's correctness is pinned in ``tests/matching/
+test_sharded.py``; here the concern is the *surfaces* above it — plan
+metadata and serialization (schema version 2), plan-cache key
+separation by shard layout, order-override fallback, the catalog's
+``shards=`` spec, and per-shard time attribution in service stats.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Matcher
+from repro.api import QueryPlan
+from repro.errors import RegistryError
+from repro.graphs import ShardedGraph, erdos_renyi, extract_query
+from repro.service import (
+    CatalogEntry,
+    MatchRequest,
+    MatchService,
+    PlanCache,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return erdos_renyi(120, 420, 3, seed=19)
+
+
+@pytest.fixture(scope="module")
+def query(data):
+    return extract_query(data, 5, np.random.default_rng(2))
+
+
+def _matcher(data, **kwargs):
+    kwargs.setdefault("match_limit", None)
+    return Matcher(data, record_matches=True, **kwargs)
+
+
+class TestShardedPlans:
+    def test_ctor_rejects_double_shard_spec(self, data):
+        with pytest.raises(RegistryError, match="not both"):
+            Matcher(ShardedGraph(data, 2), shards=2)
+
+    def test_plan_records_layout_and_per_shard_footprints(self, data, query):
+        plan = _matcher(data, shards=4).plan(query)
+        assert plan.sharded and plan.num_shards == 4
+        assert plan.shard_layout == (4, "range")
+        assert len(plan.shard_plans) == 4
+        assert sum(sp.candidate_space_bytes for sp in plan.shard_plans) == (
+            plan.candidate_space_bytes
+        )
+        # The memory story: the peak *per-shard* candidate space is what
+        # a placement scheduler sizes for, and it must beat one big one.
+        unsharded = _matcher(data).plan(query)
+        assert 0 < plan.peak_shard_space_bytes < unsharded.candidate_space_bytes
+
+    def test_plan_roundtrip_and_detached_reexecution(self, data, query):
+        matcher = _matcher(data, shards=3)
+        plan = matcher.plan(query)
+        live = matcher.execute(plan)
+        thawed = QueryPlan.from_dict(plan.to_dict())
+        assert thawed.shard_layout == plan.shard_layout
+        assert not thawed.attached
+        # Same layout: the matcher rebuilds shard state and fans out.
+        rerun = matcher.execute(thawed)
+        assert rerun.enumeration.matches == live.enumeration.matches
+        assert rerun.shards is not None
+        # Different layout (plain matcher): falls back to one shard of
+        # truth — the unsharded path — with identical matches.
+        fallback = _matcher(data).execute(QueryPlan.from_dict(plan.to_dict()))
+        assert fallback.shards is None
+        assert fallback.enumeration.matches == live.enumeration.matches
+
+    def test_order_overrides_drop_shard_state(self, data, query):
+        matcher = _matcher(data, shards=3)
+        plan = matcher.plan(query)
+        flipped = plan.with_order(tuple(reversed(plan.order)))
+        assert not flipped.sharded  # shard state was built for the old root
+        replanned = matcher.replan(plan, "qsi")
+        assert not replanned.sharded
+        # The overridden plans execute unsharded and must agree with the
+        # unsharded oracle under the same override.
+        oracle = _matcher(data)
+        overridden = matcher.execute(flipped)
+        assert overridden.shards is None
+        assert (
+            overridden.enumeration.matches
+            == oracle.execute(oracle.plan(query).with_order(flipped.order))
+            .enumeration.matches
+        )
+        assert (
+            matcher.execute(replanned).enumeration.matches
+            == oracle.execute(oracle.replan(oracle.plan(query), "qsi"))
+            .enumeration.matches
+        )
+
+    def test_cache_keys_separate_layouts(self, data, query):
+        cache = PlanCache()
+        scope = "shared"
+        unsharded = _matcher(data, plan_cache=cache, cache_scope=scope)
+        sharded = _matcher(data, shards=2, plan_cache=cache, cache_scope=scope)
+        unsharded.plan(query)
+        first = sharded.plan(query)  # must miss: layouts differ
+        again = sharded.plan(query)  # must hit its own entry
+        stats = cache.stats()
+        assert stats.plans == 2
+        assert stats.hits == 1 and again is first
+        assert cache.invalidate_scope(scope) == 2  # scope stays key[0]
+
+
+class TestShardedService:
+    def test_catalog_shards_spec_agrees_with_unsharded(self, data, query):
+        service = MatchService(
+            catalog={
+                "plain": data,
+                "cut": CatalogEntry("cut", data=data, shards=4),
+            }
+        )
+        request = lambda name: MatchRequest(  # noqa: E731
+            name, query, record_matches=True, match_limit=None
+        )
+        plain = service.submit(request("plain"))
+        cut = service.submit(request("cut"))
+        assert cut.ok and plain.ok
+        assert set(cut.matches) == set(plain.matches)
+        assert cut.num_matches == plain.num_matches
+        # Per-shard enumeration time is attributed under dataset/shard.
+        shard_time = service.stats().shard_enum_time_s
+        assert shard_time and all(k.startswith("cut/") for k in shard_time)
+        assert all(v >= 0.0 for v in shard_time.values())
+        assert "shard_enum_time_s" in service.stats().to_dict()
+
+    def test_sharded_streaming_through_the_service(self, data, query):
+        service = MatchService(
+            catalog={
+                "plain": data,
+                "cut": CatalogEntry("cut", data=data, shards=3),
+            }
+        )
+        plain = service.submit(
+            MatchRequest("plain", query, stream=True, match_limit=9)
+        )
+        cut = service.submit(MatchRequest("cut", query, stream=True, match_limit=9))
+        assert list(cut.matches) == list(plain.matches)

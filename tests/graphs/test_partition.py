@@ -1,0 +1,246 @@
+"""Property tests (hypothesis) for edge-cut partitioning and halos.
+
+The partitioner feeds the sharded matching pipeline, whose correctness
+argument leans on three structural facts checked here against naive
+reference implementations: ownership ranges tile ``[0, n)`` losslessly
+(every vertex owned exactly once, in both balancing modes, including
+degenerate shapes — more shards than vertices, empty graphs, single
+vertices, disconnected components); k-hop closures equal reference BFS
+balls (optionally intersected with an ``allowed`` mask); and extracted
+shards are exact induced subgraphs under a strictly increasing
+local→global map with a contiguous owned window.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidGraphError
+from repro.graphs import (
+    PARTITION_MODES,
+    Graph,
+    ShardedGraph,
+    erdos_renyi,
+    khop_closure,
+    partition_ranges,
+    query_eccentricity,
+)
+from repro.graphs.partition import gather_neighbors
+
+
+@st.composite
+def random_graphs(draw, min_vertices: int = 0, max_vertices: int = 30):
+    """Random labeled graphs, disconnected components welcome."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    labels = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=70) if possible else st.just([])
+    )
+    return Graph(labels, edges)
+
+
+def _reference_ball(g: Graph, seeds, depth, allowed=None):
+    """Python-loop BFS ball: the spec khop_closure must reproduce."""
+    reached = set(int(s) for s in seeds)
+    frontier = set(reached)
+    for _ in range(depth):
+        nxt = set()
+        for v in frontier:
+            for w in g.indices[g.indptr[v] : g.indptr[v + 1]]:
+                w = int(w)
+                if w in reached:
+                    continue
+                if allowed is not None and not allowed[w]:
+                    continue
+                nxt.add(w)
+        if not nxt:
+            break
+        reached |= nxt
+        frontier = nxt
+    return sorted(reached)
+
+
+# ----------------------------------------------------------------------
+# partition_ranges: lossless tiling in every mode and degenerate shape
+# ----------------------------------------------------------------------
+@given(random_graphs(), st.integers(1, 8), st.sampled_from(PARTITION_MODES))
+def test_ranges_tile_the_vertex_set(g: Graph, num_shards: int, mode: str):
+    ranges = partition_ranges(g, num_shards, mode)
+    assert len(ranges) == num_shards
+    cursor = 0
+    for lo, hi in ranges:
+        assert lo == cursor  # contiguous, no gap, no overlap
+        assert hi >= lo  # empty shards allowed, never inverted
+        cursor = hi
+    assert cursor == g.num_vertices
+
+
+@pytest.mark.parametrize("mode", PARTITION_MODES)
+def test_more_shards_than_vertices_yields_empty_tails(mode):
+    g = Graph([0, 1], [(0, 1)])
+    ranges = partition_ranges(g, 7, mode)
+    assert len(ranges) == 7
+    assert sum(hi - lo for lo, hi in ranges) == 2
+    assert sum(1 for lo, hi in ranges if lo == hi) == 5
+
+
+@pytest.mark.parametrize("mode", PARTITION_MODES)
+def test_degenerate_graphs_partition_cleanly(mode):
+    empty = Graph([], [])
+    assert partition_ranges(empty, 3, mode) == ((0, 0), (0, 0), (0, 0))
+    single = Graph([2], [])
+    ranges = partition_ranges(single, 2, mode)
+    assert len(ranges) == 2
+    assert sum(hi - lo for lo, hi in ranges) == 1  # the vertex lands once
+
+
+def test_degree_mode_balances_csr_payload():
+    # A hub-heavy prefix: vertex 0 neighbours everyone.  Range mode puts
+    # half the vertices (and nearly all edges) in shard 0; degree mode
+    # must cut right after the hub.
+    n = 40
+    g = Graph([0] * n, [(0, v) for v in range(1, n)])
+    (lo0, hi0), _ = partition_ranges(g, 2, "degree")
+    payload = int(g.indptr[hi0] - g.indptr[lo0])
+    assert payload <= int(g.indptr[-1]) * 3 // 4  # not the whole payload
+    assert hi0 < n // 2  # cut well before the vertex-count midpoint
+
+
+def test_invalid_partition_arguments_raise():
+    g = Graph([0, 0], [(0, 1)])
+    with pytest.raises(InvalidGraphError):
+        partition_ranges(g, 0)
+    with pytest.raises(InvalidGraphError):
+        partition_ranges(g, 2, mode="hash")
+
+
+# ----------------------------------------------------------------------
+# gather_neighbors / khop_closure vs reference BFS
+# ----------------------------------------------------------------------
+@given(random_graphs(min_vertices=1))
+def test_gather_neighbors_matches_window_concatenation(g: Graph):
+    vertices = np.arange(g.num_vertices, dtype=np.int64)[::2]
+    expected = np.concatenate(
+        [g.indices[g.indptr[v] : g.indptr[v + 1]] for v in vertices]
+        or [np.empty(0, dtype=np.int64)]
+    )
+    got = gather_neighbors(g.indptr, g.indices, vertices)
+    assert np.array_equal(got, expected)
+
+
+@given(random_graphs(min_vertices=1), st.integers(0, 4), st.randoms())
+def test_khop_closure_equals_reference_ball(g: Graph, depth: int, rnd):
+    seeds = sorted(rnd.sample(range(g.num_vertices), rnd.randint(1, g.num_vertices)))
+    closure = khop_closure(g, np.array(seeds, dtype=np.int64), depth)
+    assert closure.tolist() == _reference_ball(g, seeds, depth)
+
+
+@given(random_graphs(min_vertices=2), st.integers(1, 3), st.randoms())
+def test_masked_closure_equals_masked_reference(g: Graph, depth: int, rnd):
+    seeds = [rnd.randrange(g.num_vertices)]
+    allowed = np.array(
+        [rnd.random() < 0.6 for _ in range(g.num_vertices)], dtype=bool
+    )
+    closure = khop_closure(g, np.array(seeds, dtype=np.int64), depth, allowed)
+    assert closure.tolist() == _reference_ball(g, seeds, depth, allowed)
+    # Seeds are always included, even when the mask excludes them.
+    assert seeds[0] in closure.tolist()
+
+
+def test_khop_closure_rejects_negative_depth():
+    g = Graph([0, 0], [(0, 1)])
+    with pytest.raises(InvalidGraphError):
+        khop_closure(g, np.array([0]), -1)
+
+
+# ----------------------------------------------------------------------
+# query_eccentricity
+# ----------------------------------------------------------------------
+@given(random_graphs(min_vertices=1), st.randoms())
+def test_eccentricity_matches_bfs_distances(g: Graph, rnd):
+    root = rnd.randrange(g.num_vertices)
+    ecc = query_eccentricity(g, root)
+    dist = {root: 0}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for w in g.indices[g.indptr[v] : g.indptr[v + 1]]:
+                w = int(w)
+                if w not in dist:
+                    dist[w] = dist[v] + 1
+                    nxt.append(w)
+        frontier = nxt
+    if len(dist) < g.num_vertices:
+        assert ecc is None  # disconnected: no bounded halo depth
+    else:
+        assert ecc == max(dist.values())
+
+
+def test_eccentricity_degenerate_cases():
+    assert query_eccentricity(Graph([], []), 0) is None  # empty query
+    assert query_eccentricity(Graph([1], []), 0) == 0  # single vertex
+    assert query_eccentricity(Graph([0, 0], []), 0) is None  # disconnected
+
+
+# ----------------------------------------------------------------------
+# ShardedGraph.extract: exact induced subgraphs, monotone maps
+# ----------------------------------------------------------------------
+@given(random_graphs(min_vertices=1), st.integers(1, 5), st.randoms())
+def test_extract_builds_exact_induced_subgraph(g: Graph, num_shards: int, rnd):
+    sharded = ShardedGraph(g, num_shards)
+    keep = np.array(
+        sorted(rnd.sample(range(g.num_vertices), rnd.randint(1, g.num_vertices))),
+        dtype=np.int64,
+    )
+    shard_id = rnd.randrange(num_shards)
+    shard = sharded.extract(shard_id, keep)
+
+    # Monotone local->global map over exactly the kept set.
+    assert np.array_equal(shard.to_global, keep)
+    assert (np.diff(shard.to_global) > 0).all()
+    # Labels carried through the map.
+    assert np.array_equal(shard.graph.labels, g.labels[keep])
+    # Edge set == induced edge set, via the global ids.
+    kept = set(int(v) for v in keep)
+    expected = {
+        (u, v) for (u, v) in g.edges() if u in kept and v in kept
+    }
+    got = {
+        tuple(sorted((int(shard.to_global[u]), int(shard.to_global[v]))))
+        for (u, v) in shard.graph.edges()
+    }
+    assert got == expected
+    # Owned window is contiguous and matches the ownership range.
+    lo, hi = sharded.ranges[shard_id]
+    owned = [int(v) for v in keep if lo <= v < hi]
+    assert shard.owned_count == len(owned)
+    assert shard.halo_size == len(kept) - len(owned)
+    window = shard.to_global[shard.owned_start : shard.owned_stop]
+    assert window.tolist() == owned
+    for local in range(shard.num_vertices):
+        assert shard.owns_local(local) == (lo <= int(shard.to_global[local]) < hi)
+    # to_local inverts to_global; absent vertices are rejected.
+    assert shard.to_local(shard.to_global).tolist() == list(range(len(keep)))
+    absent = [v for v in range(g.num_vertices) if v not in kept]
+    if absent:
+        with pytest.raises(InvalidGraphError):
+            shard.to_local(np.array([absent[0]], dtype=np.int64))
+    # Honest accounting: local CSR plus the id map.
+    assert shard.memory_bytes() == shard.graph.memory_bytes() + keep.nbytes
+
+
+def test_sharded_graph_equality_and_owner():
+    g = erdos_renyi(30, 60, 3, seed=5)
+    a = ShardedGraph(g, 3)
+    assert a == ShardedGraph(g, 3) and hash(a) == hash(ShardedGraph(g, 3))
+    assert a != ShardedGraph(g, 4)
+    assert a.layout == (3, "range")
+    for v in range(g.num_vertices):
+        lo, hi = a.ranges[a.owner_of(v)]
+        assert lo <= v < hi
+    with pytest.raises(InvalidGraphError):
+        a.owner_of(g.num_vertices)
+    assert a.memory_bytes() == g.memory_bytes() + 16 * 3
