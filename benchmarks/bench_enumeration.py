@@ -4,8 +4,9 @@ Three sections, all doubling as coarse differential checks (non-zero exit
 on any disagreement), so CI smoke runs fail the build on layout
 regressions:
 
-* recursive vs iterative enumeration over shared ``MatchingContext``s
-  (bit-identical ``#enum``/match counts are the contract);
+* recursive vs iterative vs vectorized enumeration over shared
+  ``MatchingContext``s (bit-identical ``#enum``/match counts across all
+  three engines are the contract);
 * graph construction — the vectorized CSR constructor against a
   replica of the old per-vertex-object build (Python set churn, one
   ndarray + frozenset per vertex);
@@ -37,7 +38,7 @@ from repro.matching import (
     RIOrderer,
 )
 
-STRATEGIES = ("recursive", "iterative")
+STRATEGIES = ("recursive", "iterative", "vectorized")
 
 
 def _workloads(quick: bool):
@@ -89,12 +90,20 @@ def bench_workload(name: str, data: Graph, count: int, size: int) -> bool:
             f"{elapsed:6.2f}s  {enum_total / max(elapsed, 1e-9) / 1e3:8.1f}k steps/s"
         )
 
-    rec, it = totals["recursive"], totals["iterative"]
-    speedup = rec[2] / max(it[2], 1e-9)
-    print(f"  {name:<18} speedup(iterative) = {speedup:.2f}x")
-    agree = rec[:2] == it[:2]
-    if not agree:
-        print(f"  {name}: ENGINE DISAGREEMENT recursive={rec[:2]} iterative={it[:2]}")
+    rec = totals["recursive"]
+    agree = True
+    for strategy in STRATEGIES[1:]:
+        row = totals[strategy]
+        print(
+            f"  {name:<18} speedup({strategy}) = "
+            f"{rec[2] / max(row[2], 1e-9):.2f}x vs recursive"
+        )
+        if row[:2] != rec[:2]:
+            print(
+                f"  {name}: ENGINE DISAGREEMENT "
+                f"recursive={rec[:2]} {strategy}={row[:2]}"
+            )
+            agree = False
     return agree
 
 
@@ -246,7 +255,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    print("enumeration micro-benchmark (recursive vs iterative)")
+    print("enumeration micro-benchmark (recursive vs iterative vs vectorized)")
     engines_ok = True
     for name, data, count, size in _workloads(args.quick):
         engines_ok &= bench_workload(name, data, count, size)

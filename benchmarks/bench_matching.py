@@ -18,6 +18,14 @@ orders.  The two must agree bit-for-bit on match counts and ``#enum``,
 and the kernel path must win on enumeration wall-clock — a regression
 in either fails the run.
 
+Schema 4 adds the **backend** scenario: the frontier-batched vectorized
+engine raced against the iterative default over the same plans, gated
+on bit-identical match sequences and ``#enum`` (unsharded and
+per-shard) plus a wall-clock win, with the speedup and peak
+batch-scratch bytes recorded.  ``REPRO_BENCH_ENUM_STRATEGY`` selects
+the backend the workload/sharded scenarios run with (bit-identity makes
+the baseline's counts backend-independent).
+
 Not collected by pytest (no ``test_`` prefix) — run it directly::
 
     PYTHONPATH=src python benchmarks/bench_matching.py [--quick]
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -39,10 +48,11 @@ import numpy as np
 from repro.api import Matcher
 from repro.datasets import load_dataset, query_workload
 from repro.graphs.canonical import canonical_form, relabel_graph
+from repro.matching import Enumerator
 from repro.matching.enumeration_iter import _bind_depths, intersect_sorted
 from repro.service import PlanCache
 
-SCHEMA = 3
+SCHEMA = 4
 
 #: (dataset, query size, total workload queries) per profile.  Small
 #: graphs keep the quick profile CI-sized; the full profile adds the
@@ -198,7 +208,7 @@ def _kernel_enumerate(context, order, backward, match_limit):
 # ---------------------------------------------------------------------------
 # Sections
 # ---------------------------------------------------------------------------
-def bench_end_to_end(workloads, repeats: int) -> list[dict]:
+def bench_end_to_end(workloads, repeats: int, enum_strategy: str) -> list[dict]:
     """Plan + execute each workload through the facade; per-phase rows."""
     rows = []
     for dataset, size, count in workloads:
@@ -207,6 +217,7 @@ def bench_end_to_end(workloads, repeats: int) -> list[dict]:
             data,
             filter="gql",
             orderer="ri",
+            enumerator=enum_strategy,
             match_limit=MATCH_LIMIT,
             time_limit=TIME_LIMIT,
         )
@@ -309,7 +320,125 @@ def bench_selfcheck(workloads, repeats: int) -> dict:
     }
 
 
-def bench_sharded(workloads, repeats: int) -> list[dict]:
+def bench_backend(workloads, repeats: int) -> dict:
+    """Frontier-batched backend vs the iterative default (schema 4).
+
+    Two gates.  **Identity**: on every workload query the vectorized
+    backend must reproduce the iterative engine's match *sequences* and
+    ``#enum`` exactly — unsharded and per-shard (``shards=2``, where the
+    merged sequences must also equal the unsharded ones and the
+    summed per-shard ``#enum`` must agree engine-to-engine).
+    **Wall-clock**: it must beat the iterative engine on aggregate
+    enumeration time (the PR's target is >= 3x ``enum_steps_per_s`` on
+    the full profile; the honest ratio is recorded either way).  The
+    peak batch-scratch footprint is reported so the memory cost of the
+    batch width stays visible in the trajectory.
+    """
+    timers = {
+        name: Enumerator(
+            strategy=name, match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT
+        )
+        for name in ("iterative", "vectorized")
+    }
+    recorders = {
+        name: Enumerator(
+            strategy=name, match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
+            record_matches=True,
+        )
+        for name in ("iterative", "vectorized")
+    }
+    rows = []
+    agree = True
+    totals = {"iterative": 0.0, "vectorized": 0.0}
+    total_enum = 0
+    for dataset, size, count in workloads:
+        data = load_dataset(dataset)
+        matcher = Matcher(
+            data, filter="gql", orderer="ri",
+            match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
+        )
+        sharded = Matcher(
+            data, filter="gql", orderer="ri", shards=2,
+            match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
+        )
+        queries = query_workload(dataset, size=size, count=count, data=data).eval
+        plans = [matcher.plan(q) for q in queries]
+        shard_plans = [sharded.plan(q) for q in queries]
+
+        # Identity pass: recorded, untimed, compare-and-discard per
+        # query so at most one query's sequences stay resident.
+        ds_agree = True
+        for plan, shard_plan in zip(plans, shard_plans):
+            it = matcher.execute(plan, enumerator=recorders["iterative"])
+            vec = matcher.execute(plan, enumerator=recorders["vectorized"])
+            ok = (
+                it.enumeration.matches == vec.enumeration.matches
+                and it.num_enumerations == vec.num_enumerations
+            )
+            sit = sharded.execute(shard_plan, enumerator=recorders["iterative"])
+            svec = sharded.execute(shard_plan, enumerator=recorders["vectorized"])
+            ok &= (
+                svec.enumeration.matches == sit.enumeration.matches
+                and svec.enumeration.matches == it.enumeration.matches
+                and svec.num_enumerations == sit.num_enumerations
+            )
+            ds_agree &= ok
+        agree &= ds_agree
+
+        # Timed pass: counting runs over the same plans, best-of-repeats.
+        times = {}
+        enums = {}
+        for name, engine in timers.items():
+            best = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                results = [matcher.execute(p, enumerator=engine) for p in plans]
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            times[name] = best
+            enums[name] = sum(r.num_enumerations for r in results)
+            totals[name] += best
+        total_enum += enums["iterative"]
+        speedup = times["iterative"] / max(times["vectorized"], 1e-9)
+        row = {
+            "dataset": dataset,
+            "query_size": size,
+            "agree": ds_agree,
+            "num_enumerations": enums["iterative"],
+            "iterative_enum_time_s": round(times["iterative"], 6),
+            "vectorized_enum_time_s": round(times["vectorized"], 6),
+            "speedup": round(speedup, 3),
+            "vectorized_steps_per_s": round(
+                enums["vectorized"] / max(times["vectorized"], 1e-9), 1
+            ),
+        }
+        rows.append(row)
+        print(
+            f"  {dataset:<10} Q{size:<3} iterative={times['iterative'] * 1e3:7.1f}ms  "
+            f"vectorized={times['vectorized'] * 1e3:7.1f}ms  "
+            f"speedup={speedup:5.2f}x  "
+            f"{row['vectorized_steps_per_s'] / 1e6:5.2f}M steps/s  "
+            f"{'bit-identical' if ds_agree else 'OUTPUT DISAGREEMENT'}"
+        )
+    speedup = totals["iterative"] / max(totals["vectorized"], 1e-9)
+    peak_scratch = timers["vectorized"].peak_scratch_bytes
+    print(
+        f"  backend totals      iterative={totals['iterative'] * 1e3:7.1f}ms  "
+        f"vectorized={totals['vectorized'] * 1e3:7.1f}ms  speedup={speedup:5.2f}x  "
+        f"batch-scratch-peak={peak_scratch / 1024:,.1f}KiB"
+    )
+    return {
+        "workloads": rows,
+        "agree": agree,
+        "iterative_enum_time_s": round(totals["iterative"], 6),
+        "vectorized_enum_time_s": round(totals["vectorized"], 6),
+        "speedup": round(speedup, 3),
+        "enum_steps_per_s": round(total_enum / max(totals["vectorized"], 1e-9), 1),
+        "peak_batch_scratch_bytes": int(peak_scratch),
+    }
+
+
+def bench_sharded(workloads, repeats: int, enum_strategy: str) -> list[dict]:
     """Partitioned matching vs the single-shard oracle.
 
     For each workload and shard count: per-query match-count agreement
@@ -324,7 +453,7 @@ def bench_sharded(workloads, repeats: int) -> list[dict]:
         data = load_dataset(dataset)
         queries = query_workload(dataset, size=size, count=count, data=data).eval
         base = Matcher(
-            data, filter="gql", orderer="ri",
+            data, filter="gql", orderer="ri", enumerator=enum_strategy,
             match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
         )
         base_plans = [base.plan(q) for q in queries]
@@ -338,7 +467,8 @@ def bench_sharded(workloads, repeats: int) -> list[dict]:
         base_counts = [r.num_matches for r in base_results]
         for shards in SHARD_COUNTS:
             matcher = Matcher(
-                data, filter="gql", orderer="ri", shards=shards,
+                data, filter="gql", orderer="ri", enumerator=enum_strategy,
+                shards=shards,
                 match_limit=MATCH_LIMIT, time_limit=TIME_LIMIT,
             )
             plans = [matcher.plan(q) for q in queries]
@@ -550,23 +680,36 @@ def main(argv: list[str] | None = None) -> int:
 
     workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
     repeats = 3 if args.quick else 5
+    # Backend for the workload/sharded scenarios: CI's perf-smoke matrix
+    # sets REPRO_BENCH_ENUM_STRATEGY=vectorized so output drift or a
+    # wall-clock regression on the batched backend fails the build (the
+    # baseline's counts are backend-independent — bit-identity is the
+    # contract).
+    enum_strategy = os.environ.get("REPRO_BENCH_ENUM_STRATEGY", "iterative")
 
     calibration = _calibrate()
     print(f"machine calibration: {calibration * 1e3:.1f}ms (reference load)")
-    print("end-to-end matching benchmark (plan + execute, facade)")
-    rows = bench_end_to_end(workloads, repeats)
+    print(
+        "end-to-end matching benchmark (plan + execute, facade, "
+        f"enumerator={enum_strategy!r})"
+    )
+    rows = bench_end_to_end(workloads, repeats, enum_strategy)
     print("kernel self-check (buffered galloping vs pre-kernel replica)")
     selfcheck = bench_selfcheck(workloads, repeats)
+    print("backend scenario (frontier-batched vectorized vs iterative)")
+    backend = bench_backend(workloads, repeats)
     print("repeated-workload scenario (cold planning vs plan-cache hits)")
     plan_cache = bench_plan_cache(workloads, repeats)
     print("partitioned-matching scenario (edge-cut shards vs single shard)")
-    sharded = bench_sharded(workloads, repeats)
+    sharded = bench_sharded(workloads, repeats, enum_strategy)
 
     report = {
         "schema": SCHEMA,
         "quick": bool(args.quick),
+        "enum_strategy": enum_strategy,
         "workloads": rows,
         "selfcheck": selfcheck,
+        "backend": backend,
         "plan_cache": plan_cache,
         "sharded": sharded,
         "totals": {
@@ -587,6 +730,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "SELF-CHECK FAILED: kernel path slower than pre-kernel replica "
             f"({selfcheck['speedup']:.2f}x)"
+        )
+        ok = False
+    if not backend["agree"]:
+        print(
+            "BACKEND FAILED: vectorized output differs from iterative "
+            "(match sequences / #enum)"
+        )
+        ok = False
+    if backend["speedup"] < 1.0:
+        print(
+            "BACKEND FAILED: vectorized backend slower than iterative "
+            f"({backend['speedup']:.2f}x)"
         )
         ok = False
     if not plan_cache["warm_all_hits"]:

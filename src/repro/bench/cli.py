@@ -17,6 +17,7 @@ import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import BenchSettings, Harness
+from repro.matching.enumeration import ENUMERATION_STRATEGIES
 
 __all__ = ["main"]
 
@@ -40,7 +41,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--match-limit", type=str, help="match cap or 'none'")
     parser.add_argument("--seed", type=int, help="workload / training seed")
     parser.add_argument(
-        "--enum-strategy", choices=["iterative", "recursive"],
+        "--enum-strategy", choices=list(ENUMERATION_STRATEGIES),
         help="enumeration engine (default: iterative)",
     )
     return parser

@@ -99,9 +99,10 @@ class BenchSettings:
     hidden_dim: int = 64
     num_gnn_layers: int = 2
     seed: int = 0
-    #: Enumeration engine used across the suite ("iterative" or
-    #: "recursive"); the recursive oracle is exposed so regressions can be
-    #: bisected to the engine.
+    #: Enumeration engine used across the suite ("iterative",
+    #: "recursive" or "vectorized"); the recursive oracle is exposed so
+    #: regressions can be bisected to the engine, and the vectorized
+    #: backend is selectable so CI can race it over the same workloads.
     enum_strategy: str = "iterative"
 
     def __post_init__(self) -> None:

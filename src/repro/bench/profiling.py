@@ -40,6 +40,11 @@ class QueryProfile:
     #: measurement runs (0 when ``measure=False`` — the index is never
     #: built for estimate-only profiles).
     candidate_space_bytes: int = 0
+    #: Enumerator backend the measurement runs actually used (one of
+    #: :data:`repro.matching.ENUMERATION_STRATEGIES`); ``None`` for
+    #: estimate-only profiles, which never enumerate.  A/B profile runs
+    #: are ambiguous without it.
+    enum_strategy: str | None = None
 
     @property
     def order_sensitivity(self) -> float:
@@ -72,6 +77,7 @@ def profile_query(
 
     measured: dict[str, int] = {}
     space_bytes = 0
+    ran_strategy: str | None = None
     if measure and query.num_vertices:
         # Facade path: one plan carries the candidate counts, the RI
         # reference order, the cost estimate and the candidate-space
@@ -91,6 +97,9 @@ def profile_query(
         plan = matcher.plan(query)
         sizes = plan.candidate_counts
         estimated = plan.estimated_cost
+        # Report what actually ran, not what was asked for: the facade
+        # normalizes the strategy name, so read it back off the matcher.
+        ran_strategy = matcher.enumerator.strategy
         if plan.matchable:
             measured["ri"] = matcher.execute(plan).num_enumerations
             for orderer in (GQLOrderer(), RandomOrderer(seed=0)):
@@ -116,6 +125,7 @@ def profile_query(
         estimated_cost=estimated,
         measured_enum=measured,
         candidate_space_bytes=space_bytes,
+        enum_strategy=ran_strategy,
     )
 
 

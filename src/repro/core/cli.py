@@ -19,6 +19,7 @@ import sys
 import time
 
 from repro.core.config import RLQVOConfig
+from repro.matching.enumeration import ENUMERATION_STRATEGIES
 from repro.core.model_io import save_model
 from repro.core.trainer import RLQVOTrainer
 from repro.datasets.registry import DATASETS, dataset_stats, load_dataset
@@ -55,7 +56,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--enum-strategy", default="iterative",
-        choices=["iterative", "recursive"],
+        choices=list(ENUMERATION_STRATEGIES),
         help="enumeration engine for reward rollouts",
     )
     parser.add_argument("--seed", type=int, default=0)

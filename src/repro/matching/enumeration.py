@@ -24,6 +24,14 @@ Two engines implement the procedure:
   ``match_limit`` truncation), and the equivalence tests compare them
   on random instances.  Note its depth is bounded by
   ``sys.getrecursionlimit()`` — it is not for production paths.
+* ``strategy="vectorized"`` — the frontier-batched backend
+  (:mod:`repro.matching.enumeration_batch`): the same DFS above the
+  three deepest depths, with everything below a depth-``n-3`` node
+  expanded as chunked numpy batches (bulk segment gathers, vectorized
+  membership and injectivity masks).  Match sequences and ``#enum``
+  stay bit-identical to the other engines; it trades batch-scratch
+  memory (bounded by the chunk width) for several-fold fewer
+  interpreter steps on enumeration-heavy queries.
 
 Shared Phase (1) artifacts (candidates + the per-edge index) travel in a
 :class:`~repro.matching.context.MatchingContext`: callers that run many
@@ -44,8 +52,9 @@ reporting both in the result.
 
 from __future__ import annotations
 
+import threading
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import EnumerationError
@@ -53,11 +62,16 @@ from repro.graphs.graph import Graph
 from repro.graphs.validation import check_order
 from repro.matching.candidates import CandidateSets
 from repro.matching.context import MatchingContext
+from repro.matching.enumeration_batch import (
+    enumerate_lazy_vectorized,
+    enumerate_vectorized,
+)
 from repro.matching.enumeration_iter import (
     EnumerationCounters,
     enumerate_iterative,
     enumerate_lazy,
 )
+from repro.matching.kernels import ScratchBuffers
 
 __all__ = [
     "DEFAULT_TIME_LIMIT",
@@ -74,7 +88,7 @@ __all__ = [
 DEFAULT_TIME_LIMIT: float = 500.0
 
 #: Engine implementations selectable via ``Enumerator(strategy=...)``.
-ENUMERATION_STRATEGIES: tuple[str, ...] = ("iterative", "recursive")
+ENUMERATION_STRATEGIES: tuple[str, ...] = ("iterative", "recursive", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -150,6 +164,7 @@ class MatchStream:
         match_limit: int | None,
         time_limit: float | None,
         check_every: int,
+        lazy_engine: Callable = enumerate_lazy,
     ):
         self._match_limit = match_limit
         self._start = time.perf_counter()
@@ -165,7 +180,7 @@ class MatchStream:
             self._counters.num_enumerations = 1
         else:
             deadline = self._start + time_limit if time_limit is not None else None
-            self._gen = enumerate_lazy(
+            self._gen = lazy_engine(
                 context, order, backward, deadline, check_every, self._counters
             )
             # Pre-charge the root step: the generator body only runs on
@@ -278,8 +293,11 @@ class Enumerator:
         per-edge index instead of raw adjacency scans.  The iterative
         engine always uses the index.
     strategy:
-        ``"iterative"`` (default, depth-independent) or ``"recursive"``
-        (the original engine, kept as the differential-testing oracle).
+        ``"iterative"`` (default, depth-independent), ``"recursive"``
+        (the original engine, kept as the differential-testing oracle)
+        or ``"vectorized"`` (the frontier-batched numpy backend —
+        bit-identical output, fewer interpreter steps, batch-scratch
+        memory bounded by the chunk width).
     """
 
     def __init__(
@@ -309,6 +327,26 @@ class Enumerator:
         #: recursion steps.
         self.use_candidate_space = use_candidate_space
         self.strategy = strategy
+        # Per-thread ScratchBuffers for the vectorized batch driver:
+        # reused across synchronous run_context calls on one thread
+        # (streams always bind fresh scratch — a suspended stream holds
+        # its buffers across pulls, so sharing would corrupt it).  This
+        # keeps the Matcher thread-safety contract: threads never share
+        # scratch, and the buffers carry no cross-query state.
+        self._thread_state = threading.local()
+
+    @property
+    def peak_scratch_bytes(self) -> int:
+        """High-water batch-scratch footprint on the calling thread.
+
+        Covers the vectorized engine's per-thread
+        :class:`~repro.matching.kernels.ScratchBuffers` (per-depth
+        candidate arrays plus the named batch buffers); 0 until this
+        thread's first vectorized run.  Monotone across a thread's
+        lifetime — buffers grow geometrically and never shrink.
+        """
+        scratch = getattr(self._thread_state, "scratch", None)
+        return 0 if scratch is None else scratch.peak_nbytes
 
     @property
     def needs_space(self) -> bool:
@@ -317,7 +355,7 @@ class Enumerator:
         The matching engine uses this to decide whether Phase (1) should
         pre-build :class:`CandidateSpace` (billed to ``filter_time``).
         """
-        return self.strategy == "iterative" or self.use_candidate_space
+        return self.strategy in ("iterative", "vectorized") or self.use_candidate_space
 
     def run(
         self,
@@ -367,6 +405,8 @@ class Enumerator:
 
         if self.strategy == "iterative":
             return self._run_iterative(context, order, backward, start_time)
+        if self.strategy == "vectorized":
+            return self._run_vectorized(context, order, backward, start_time)
         return self._run_recursive(context, order, backward, start_time)
 
     def stream_context(
@@ -384,12 +424,14 @@ class Enumerator:
         of the search.  ``match_limit`` overrides the enumerator's own
         limit for this stream (pass ``None`` for find-all); the
         enumerator's ``time_limit`` applies as an absolute wall-clock
-        deadline from stream creation.  Only the iterative engine can
-        suspend; the recursive oracle raises.
+        deadline from stream creation.  The iterative and vectorized
+        engines can suspend (the latter computes chunks ahead of the
+        pulls but publishes exact per-match counters); the recursive
+        oracle raises.
         """
-        if self.strategy != "iterative":
+        if self.strategy not in ("iterative", "vectorized"):
             raise EnumerationError(
-                "streaming needs the iterative engine; "
+                "streaming needs the iterative or vectorized engine; "
                 f"this enumerator uses strategy={self.strategy!r}"
             )
         if match_limit == "default":
@@ -397,8 +439,19 @@ class Enumerator:
         if match_limit is not None and match_limit < 1:
             raise EnumerationError("match_limit must be >= 1 or None")
         order, backward = self._prepare_order(context, order)
+        lazy_engine = (
+            enumerate_lazy_vectorized
+            if self.strategy == "vectorized"
+            else enumerate_lazy
+        )
         return MatchStream(
-            context, order, backward, match_limit, self.time_limit, self.check_every
+            context,
+            order,
+            backward,
+            match_limit,
+            self.time_limit,
+            self.check_every,
+            lazy_engine=lazy_engine,
         )
 
     # ------------------------------------------------------------------
@@ -422,6 +475,47 @@ class Enumerator:
             deadline,
             self.check_every,
             self.record_matches,
+        )
+        elapsed = time.perf_counter() - start_time
+        return EnumerationResult(
+            num_matches=found,
+            num_enumerations=enum,
+            elapsed=elapsed,
+            timed_out=timed_out,
+            limit_reached=limited,
+            matches=tuple(matches),
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized frontier-batched engine
+    # ------------------------------------------------------------------
+    def _run_vectorized(
+        self,
+        context: MatchingContext,
+        order: list[int],
+        backward: list[list[int]],
+        start_time: float,
+    ) -> EnumerationResult:
+        deadline = (
+            start_time + self.time_limit if self.time_limit is not None else None
+        )
+        # One ScratchBuffers per thread, rebound per query (geometric
+        # growth, never shrinks).  Safe because the batch driver fully
+        # consumes its chunk generator before returning — no user code
+        # runs while the scratch is live.
+        scratch = getattr(self._thread_state, "scratch", None)
+        if scratch is None:
+            scratch = ScratchBuffers([])
+            self._thread_state.scratch = scratch
+        found, enum, timed_out, limited, matches = enumerate_vectorized(
+            context,
+            order,
+            backward,
+            self.match_limit,
+            deadline,
+            self.check_every,
+            self.record_matches,
+            scratch=scratch,
         )
         elapsed = time.perf_counter() - start_time
         return EnumerationResult(

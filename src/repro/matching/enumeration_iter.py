@@ -86,6 +86,7 @@ def _bind_depths(
     context: MatchingContext,
     order: Sequence[int],
     backward: Sequence[Sequence[int]],
+    scratch: ScratchBuffers | None = None,
 ) -> tuple[
     list[np.ndarray],
     list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]],
@@ -99,7 +100,9 @@ def _bind_depths(
     backward neighbours write into scratch (the others walk zero-copy
     views), and their buffers are bounded by the smallest backward
     binding's longest adjacency list — smallest-first intersection can
-    never produce more."""
+    never produce more.  Passing an existing ``scratch`` re-binds it via
+    :meth:`ScratchBuffers.ensure_depths` instead of allocating, so one
+    scratch object can serve many queries of different sizes."""
     candidates = context.candidates
     space = context.space
     base_arrays = [candidates.array(u) for u in order]
@@ -113,7 +116,9 @@ def _bind_depths(
         else 0
         for i in range(len(order))
     ]
-    return base_arrays, bindings, ScratchBuffers(capacities)
+    if scratch is None:
+        return base_arrays, bindings, ScratchBuffers(capacities)
+    return base_arrays, bindings, scratch.ensure_depths(capacities)
 
 
 def _local_candidates(

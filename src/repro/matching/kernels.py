@@ -37,6 +37,17 @@ enumeration engine guarantees this by construction: candidate buffers
 are per depth, ping-pong temporaries alternate).  The DFS cursors walk
 the numpy views/buffers directly — the per-node ``tolist()``
 materialization is gone entirely.
+
+The frontier-batched backend (``enumeration_batch.py``) adds three
+batched kernels on top: :func:`gather_segments_into` concatenates many
+``(offsets, concat)`` segments into one flat batch in a single gather,
+:func:`batch_membership_into` is the batched form of one
+:func:`intersect_into` step (it produces the membership *mask* instead
+of compressing, so several constraints AND together before one
+compress), and :func:`batch_unused_into` is the batched injectivity
+probe.  Their scratch comes from the same :class:`ScratchBuffers`
+object via named growable batch buffers, so the peak batch footprint
+is visible next to the per-depth capacities.
 """
 
 from __future__ import annotations
@@ -45,7 +56,10 @@ import numpy as np
 
 __all__ = [
     "ScratchBuffers",
+    "batch_membership_into",
+    "batch_unused_into",
     "filter_unused_into",
+    "gather_segments_into",
     "intersect_into",
     "intersect_unused_into",
 ]
@@ -144,6 +158,88 @@ def intersect_unused_into(
     return k
 
 
+def gather_segments_into(
+    concat: np.ndarray,
+    starts: np.ndarray,
+    lens: np.ndarray,
+    out: np.ndarray,
+) -> int:
+    """Concatenate ``concat[starts[i] : starts[i] + lens[i]]`` for all ``i``.
+
+    The batched segment gather of the frontier backend: one
+    ``np.take`` materializes every row's adjacency segment of a flat
+    ``(offsets, concat)`` edge binding into ``out`` back to back,
+    replacing one Python-level slice per row.  ``starts`` / ``lens``
+    are int64 arrays of equal length; ``out`` needs ``lens.sum()``
+    capacity.  Returns the total number of values written.  Segment
+    values keep their per-segment sorted order, which is exactly the
+    DFS sibling order.
+    """
+    total = int(lens.sum())
+    if total == 0:
+        return 0
+    idx = np.arange(total, dtype=np.int64)
+    # Shift each output slot by (segment start - running offset) so the
+    # flat arange walks every segment in place: one repeat, one add.
+    offs = np.cumsum(lens) - lens
+    idx += np.repeat(starts - offs, lens)
+    np.take(concat, idx, out=out[:total])
+    return total
+
+
+def batch_membership_into(
+    vals: np.ndarray,
+    reference: np.ndarray,
+    out: np.ndarray,
+    accumulate: bool = False,
+) -> None:
+    """Write (or AND in) ``vals[i] ∈ reference`` into ``out[: vals.size]``.
+
+    The batched counterpart of one :func:`intersect_into` step:
+    ``reference`` is one sorted unique segment shared by every value in
+    the batch, and the kernel produces the membership *mask* rather
+    than compressing, so several backward-edge constraints combine
+    before a single compress.  With ``accumulate`` the mask ANDs into
+    ``out`` instead of overwriting it.
+    """
+    n = vals.size
+    if n == 0:
+        return
+    m = out[:n]
+    if reference.size == 0:
+        m[:] = False
+        return
+    idx = reference.searchsorted(vals)
+    np.minimum(idx, reference.size - 1, out=idx)
+    if accumulate:
+        hit = np.equal(reference[idx], vals)
+        np.logical_and(m, hit, out=m)
+    else:
+        np.equal(reference[idx], vals, out=m)
+
+
+def batch_unused_into(
+    vals: np.ndarray,
+    used: np.ndarray,
+    out: np.ndarray,
+    tmp: np.ndarray,
+) -> None:
+    """AND ``not used[vals[i]]`` into ``out[: vals.size]``.
+
+    The batched injectivity probe: one gather from the dense ``used``
+    map, one negation, one AND — the vectorized form of the per-visit
+    ``used[v]`` check, applied to a whole frontier at once.  ``tmp`` is
+    a bool scratch of at least ``vals.size`` entries.
+    """
+    n = vals.size
+    if n == 0:
+        return
+    t = tmp[:n]
+    used.take(vals, out=t)
+    np.logical_not(t, out=t)
+    np.logical_and(out[:n], t, out=out[:n])
+
+
 class ScratchBuffers:
     """Per-query scratch for the iterative DFS, sized once in binding.
 
@@ -159,9 +255,19 @@ class ScratchBuffers:
     per-depth bounds computed by ``_bind_depths`` (the smallest backward
     neighbour's longest adjacency list — smallest-first intersection can
     never produce more), so no kernel call can overrun.
+
+    A ``ScratchBuffers`` object is reusable across queries:
+    :meth:`ensure_depths` re-binds the same object to a new query's
+    capacities, growing geometrically and never shrinking, so a
+    ``Matcher`` serving queries of varying sizes touches the allocator
+    a bounded number of times instead of once per query.  The
+    frontier-batched backend additionally draws named growable batch
+    buffers from :meth:`batch`; ``peak_nbytes`` reports the high-water
+    footprint across everything, which is how the bench makes the
+    batch-width memory cost visible.
     """
 
-    __slots__ = ("cand", "tmp_a", "tmp_b", "mask", "mask2")
+    __slots__ = ("cand", "tmp_a", "tmp_b", "mask", "mask2", "_batch", "_peak_nbytes")
 
     def __init__(self, depth_capacities: list[int]):
         self.cand = [np.empty(c, dtype=np.int64) for c in depth_capacities]
@@ -170,13 +276,74 @@ class ScratchBuffers:
         self.tmp_b = np.empty(cap, dtype=np.int64)
         self.mask = np.empty(cap, dtype=bool)
         self.mask2 = np.empty(cap, dtype=bool)
+        self._batch: dict[str, np.ndarray] = {}
+        self._peak_nbytes = 0
+        self._note_peak()
+
+    def ensure_depths(self, depth_capacities: list[int]) -> "ScratchBuffers":
+        """Re-bind this object to a new query, growing buffers as needed.
+
+        Existing buffers are kept whenever they are already large
+        enough; a buffer that must grow jumps to at least double its
+        current size (geometric growth — a rising sequence of query
+        sizes costs amortized O(1) reallocations per query, not one per
+        query).  Nothing ever shrinks, so ``nbytes`` is monotone over
+        the object's lifetime.  Returns ``self``.
+        """
+        for i, c in enumerate(depth_capacities):
+            if i >= len(self.cand):
+                self.cand.append(np.empty(c, dtype=np.int64))
+            elif self.cand[i].size < c:
+                self.cand[i] = np.empty(max(c, 2 * self.cand[i].size), dtype=np.int64)
+        cap = max(depth_capacities, default=0)
+        if self.tmp_a.size < cap:
+            grown = max(cap, 2 * self.tmp_a.size)
+            self.tmp_a = np.empty(grown, dtype=np.int64)
+            self.tmp_b = np.empty(grown, dtype=np.int64)
+            self.mask = np.empty(grown, dtype=bool)
+            self.mask2 = np.empty(grown, dtype=bool)
+        self._note_peak()
+        return self
+
+    def batch(self, name: str, size: int, dtype: type = np.int64) -> np.ndarray:
+        """Return the named growable batch buffer with ≥ ``size`` capacity.
+
+        Batch buffers back the frontier backend's flat ``(B, k)``
+        scratch (candidate values, row indices, masks).  Growth is
+        geometric with a floor, so a frontier loop over thousands of
+        chunks reallocates a handful of times at most.  The caller
+        slices ``[:size]``; contents are undefined on entry.
+        """
+        buf = self._batch.get(name)
+        if buf is None or buf.size < size or buf.dtype != dtype:
+            grown = max(size, 0 if buf is None else 2 * buf.size, 1024)
+            buf = np.empty(grown, dtype=dtype)
+            self._batch[name] = buf
+            self._note_peak()
+        return buf
 
     def nbytes(self) -> int:
-        """Total scratch footprint (candidate + ping-pong + mask buffers)."""
+        """Total scratch footprint (candidate + ping-pong + mask + batch)."""
         return (
             sum(buf.nbytes for buf in self.cand)
             + self.tmp_a.nbytes
             + self.tmp_b.nbytes
             + self.mask.nbytes
             + self.mask2.nbytes
+            + sum(buf.nbytes for buf in self._batch.values())
         )
+
+    @property
+    def peak_nbytes(self) -> int:
+        """High-water ``nbytes`` over this object's lifetime.
+
+        Buffers never shrink, so within one query this is monotone
+        non-decreasing; across reuse it records the widest frontier any
+        query ever needed.
+        """
+        return self._peak_nbytes
+
+    def _note_peak(self) -> None:
+        total = self.nbytes()
+        if total > self._peak_nbytes:
+            self._peak_nbytes = total

@@ -65,6 +65,12 @@ class MatchRequest:
     orderer:
         Registry name overriding the dataset's configured orderer for
         this request (plans cache separately per orderer).
+    enumerator:
+        Enumeration-backend name overriding the dataset's configured
+        engine for this request (``"iterative"``, ``"recursive"`` or
+        ``"vectorized"``).  Backends are bit-identical on matches and
+        ``#enum``, so the override changes only the latency/memory
+        profile — plans are shared across backends.
     record_matches:
         Materialize embeddings into :attr:`MatchResponse.matches`.
     stream:
@@ -81,6 +87,7 @@ class MatchRequest:
     match_limit: Any = UNSET
     time_limit: Any = UNSET
     orderer: str | None = None
+    enumerator: str | None = None
     record_matches: bool = False
     stream: bool = False
     tag: str | None = None
@@ -94,6 +101,8 @@ class MatchRequest:
             payload["time_limit"] = self.time_limit
         if self.orderer is not None:
             payload["orderer"] = self.orderer
+        if self.enumerator is not None:
+            payload["enumerator"] = self.enumerator
         if self.record_matches:
             payload["record_matches"] = True
         if self.stream:
@@ -116,6 +125,7 @@ class MatchRequest:
                 match_limit=payload.get("match_limit", UNSET),
                 time_limit=payload.get("time_limit", UNSET),
                 orderer=payload.get("orderer"),
+                enumerator=payload.get("enumerator"),
                 record_matches=bool(payload.get("record_matches", False)),
                 stream=bool(payload.get("stream", False)),
                 tag=payload.get("tag"),

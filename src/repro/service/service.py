@@ -195,7 +195,10 @@ class MatchService:
 
         Returns ``None`` when the dataset's configured enumerator
         already fits — the common case, which keeps cache-hit requests
-        allocation-free on the planning side.
+        allocation-free on the planning side.  A backend override
+        (``request.enumerator``) is safe on shared cached plans because
+        every backend is bit-identical on matches and ``#enum`` — only
+        the latency/memory profile changes.
         """
         match_limit = (
             base.match_limit if request.match_limit is UNSET else request.match_limit
@@ -203,10 +206,14 @@ class MatchService:
         time_limit = (
             base.time_limit if request.time_limit is UNSET else request.time_limit
         )
+        strategy = (
+            base.strategy if request.enumerator is None else request.enumerator
+        )
         if (
             match_limit == base.match_limit
             and time_limit == base.time_limit
             and record == base.record_matches
+            and strategy == base.strategy
         ):
             return None
         return Enumerator(
@@ -215,7 +222,7 @@ class MatchService:
             record_matches=record,
             check_every=base.check_every,
             use_candidate_space=base.use_candidate_space,
-            strategy=base.strategy,
+            strategy=strategy,
         )
 
     @staticmethod

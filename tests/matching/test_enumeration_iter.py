@@ -143,7 +143,7 @@ class TestEdgeCases:
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(EnumerationError):
-            Enumerator(strategy="vectorized")
+            Enumerator(strategy="compiled")
 
     def test_iterative_alias_class(self):
         query, data, candidates, order = _random_instance(7)
