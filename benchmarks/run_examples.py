@@ -99,6 +99,18 @@ SENTINELS: dict[str, list[str]] = {
         r"service stats: 16 requests, cache hit rate \d+%",
         r"invalidated 4 citeseer plans; follow-up request cached=False",
     ],
+    "http_serving.py": [
+        r"serving citeseer at http://127\.0\.0\.1:\d+ \(plan store: plans\.sqlite\)",
+        r"cold request: +1372 matches, #enum=2329, cached=False",
+        r"isomorph request: +1372 matches, #enum=2329, cached=True; "
+        r"outcome identical: True",
+        r"streaming: first embedding after \d+(\.\d+)?ms, all 1372 embeddings "
+        r"after \d+(\.\d+)?ms \(first well before full: True\)",
+        r"restarted on the same store: cached=True \(warm start from sqlite\), "
+        r"match sequence identical: True",
+        r"server stats: 1 request\(s\), cache hits 1 \(from store: 1\), "
+        r"plan-store rows 1, p95 latency \d+(\.\d+)?ms",
+    ],
 }
 
 

@@ -1,11 +1,41 @@
-"""Setup shim.
+"""Packaging metadata and console entry points.
 
-``pip install -e .`` requires the ``wheel`` package for PEP 660 editable
-builds; this offline environment ships setuptools 65 without wheel, so the
-legacy ``python setup.py develop`` path (driven by this shim) provides the
-editable install instead.  All metadata lives in ``pyproject.toml``.
+This offline environment ships setuptools without ``wheel``, so PEP 660
+editable installs are unavailable; the legacy ``python setup.py
+develop`` path (driven by this file) provides the editable install, and
+day-to-day runs simply use ``PYTHONPATH=src`` with the module-mode
+CLIs.  The ``console_scripts`` below bind the installed command names
+to the same ``main`` functions the ``python -m`` invocations use:
+
+===================  ==========================================
+``repro-train``      :func:`repro.core.cli.main`
+``repro-bench``      :func:`repro.bench.cli.main`
+``repro-serve``      :func:`repro.service.cli.main`
+``repro-server``     :func:`repro.server.cli.main`
+``repro-loadtest``   :func:`repro.server.loadgen.main`
+===================  ==========================================
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-subgraph-matching",
+    version="0.8.0",
+    description=(
+        "Reproduction of the RL-based query-vertex-ordering model for "
+        "subgraph matching (ICDE 2022), with serving and benchmarking tiers"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-train=repro.core.cli:main",
+            "repro-bench=repro.bench.cli:main",
+            "repro-serve=repro.service.cli:main",
+            "repro-server=repro.server.cli:main",
+            "repro-loadtest=repro.server.loadgen:main",
+        ]
+    },
+)

@@ -21,6 +21,7 @@ Phase (1) from the recorded filter; everything downstream of the
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from functools import cached_property
 
@@ -372,3 +373,30 @@ class QueryPlan:
             return plan
         except (KeyError, TypeError) as exc:
             raise ReproError(f"malformed query-plan payload: {exc}") from exc
+
+    def to_json(self) -> str:
+        """:meth:`to_dict` as a canonical (sorted-key) JSON string.
+
+        The persistent :class:`~repro.server.store.PlanStore` rows hold
+        exactly this — one spelling of the wire format, shared with
+        anything else that files plans on disk.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryPlan":
+        """Rebuild a (detached) plan from :meth:`to_json` output.
+
+        Raises :class:`~repro.errors.ReproError` on undecodable text or
+        a malformed/unsupported payload — callers holding possibly-stale
+        store rows catch it and fall back to cold planning.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"malformed query-plan JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ReproError(
+                f"query-plan JSON must be an object, got {type(payload).__name__}"
+            )
+        return cls.from_dict(payload)

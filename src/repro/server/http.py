@@ -1,0 +1,489 @@
+"""Asyncio HTTP front end over a :class:`~repro.service.MatchService`.
+
+The service layer is a thread-safe Python object; this module puts a
+network boundary in front of it with nothing but the standard library:
+an :mod:`asyncio` accept loop (``asyncio.start_server``), the pure
+framing helpers of :mod:`repro.server.protocol`, and a bounded thread
+pool the blocking matching work runs on (``run_in_executor`` under an
+``asyncio.Semaphore``) so slow enumerations never stall the event loop
+or each other beyond the configured concurrency.
+
+Routes
+------
+``POST /match``
+    One :class:`~repro.service.requests.MatchRequest` JSON body in, one
+    :class:`~repro.service.requests.MatchResponse` JSON body out.  The
+    request's per-call overrides (``match_limit`` / ``time_limit`` /
+    ``orderer`` / ``enumerator``) apply exactly as in direct
+    :meth:`~repro.service.service.MatchService.submit` calls.
+``POST /match/stream``
+    Same request schema, chunked NDJSON response: one
+    ``{"match": [...]}`` chunk per embedding as the suspendable
+    streaming engine yields it — the first embedding reaches the client
+    while enumeration is still running — then a final summary chunk
+    (``{"done": true, ...}``).  A client that disconnects early closes
+    the underlying stream; the search stops, the request is still
+    metered.
+``GET /stats``
+    The service's :class:`~repro.service.service.ServiceStats` snapshot
+    plus plan-store counters (when persistence is configured) and the
+    HTTP tier's own counters.
+``GET /healthz``
+    Liveness: ``{"status": "ok", "datasets": [...]}``.
+``POST /admin/invalidate``
+    Drop cached plans — ``{"dataset": "name"}`` for one scope, empty
+    body for everything — in both cache tiers.
+
+Error contract: malformed HTTP answers 400 and closes; a body that is
+not valid JSON or not a valid request, or a :class:`~repro.errors.
+ReproError` from the service (unknown dataset, bad limits), answers a
+structured ``{"error": ..., "type": ...}`` with status 400 and keeps
+the connection; anything unexpected answers 500.  Connections are
+HTTP/1.1 keep-alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ReproError
+from repro.server import protocol
+from repro.service.requests import UNSET, MatchRequest
+from repro.service.service import MatchService
+
+__all__ = ["BackgroundServer", "MatchServer"]
+
+#: Default cap on concurrently *executing* match requests (the accept
+#: loop itself is not bounded — excess requests queue on the semaphore).
+DEFAULT_CONCURRENCY = 8
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _error_payload(message: str, error_type: str) -> bytes:
+    return _json_bytes({"error": message, "type": error_type})
+
+
+def _next_or_none(iterator):
+    """One blocking pull, mapped onto the executor by the stream route."""
+    try:
+        return next(iterator)
+    except StopIteration:
+        return None
+
+
+class MatchServer:
+    """The asyncio HTTP server; one instance fronts one service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.MatchService` to expose.  Its
+        documented thread-safety is what makes the shared executor
+        sound.
+    host / port:
+        Bind address; port ``0`` asks the OS for a free port, readable
+        from :attr:`address` after :meth:`start` (how tests and
+        ``--self-host`` load runs avoid port collisions).
+    max_concurrency:
+        Simultaneously executing match requests; further requests wait
+        on the semaphore (backpressure, not rejection).
+
+    Examples
+    --------
+    >>> from repro.server import MatchServer          # doctest: +SKIP
+    >>> server = MatchServer(service, port=8080)      # doctest: +SKIP
+    >>> server.run()                                  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        service: MatchService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_concurrency: int = DEFAULT_CONCURRENCY,
+    ):
+        if max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.max_concurrency = int(max_concurrency)
+        self._server: asyncio.base_events.Server | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        # Counters are only touched from the event loop — no lock.
+        self._http_requests = 0
+        self._responses: dict[int, int] = {}
+        self._streams = 0
+        self._streams_cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves port 0)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        """Bind and start accepting (returns once listening)."""
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrency, thread_name_prefix="repro-http"
+        )
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port,
+            limit=protocol.MAX_HEAD_BYTES,
+        )
+        self.port = self.address[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (call :meth:`start` first)."""
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting and release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def run(self) -> None:
+        """Blocking convenience loop (the ``repro-server`` CLI body)."""
+
+        async def _main() -> None:
+            await self.start()
+            await self.serve_forever()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: a keep-alive loop of request/response turns."""
+        try:
+            while True:
+                try:
+                    raw = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError:
+                    break  # clean EOF between requests
+                except asyncio.LimitOverrunError:
+                    writer.write(protocol.format_response(
+                        400,
+                        _error_payload("request head too large", "ProtocolError"),
+                        close=True,
+                    ))
+                    await writer.drain()
+                    break
+                try:
+                    head = protocol.parse_head(raw)
+                    body = await reader.readexactly(head.content_length)
+                except protocol.ProtocolError as exc:
+                    writer.write(protocol.format_response(
+                        exc.status,
+                        _error_payload(str(exc), "ProtocolError"),
+                        close=True,
+                    ))
+                    await writer.drain()
+                    break
+                except asyncio.IncompleteReadError:
+                    break  # body truncated by disconnect
+                self._http_requests += 1
+                keep_alive = await self._dispatch(head, body, writer)
+                if not keep_alive or not head.keep_alive:
+                    break
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutdown cancelled a parked connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionError, BrokenPipeError, asyncio.CancelledError
+            ):  # pragma: no cover - teardown noise only
+                pass
+
+    async def _dispatch(self, head, body: bytes, writer) -> bool:
+        """Route one request; returns whether the connection survives."""
+        route = (head.method, head.path)
+        try:
+            if route == ("GET", "/healthz"):
+                return await self._respond(writer, 200, self._healthz())
+            if route == ("GET", "/stats"):
+                return await self._respond(writer, 200, self._stats_payload())
+            if route == ("POST", "/match"):
+                return await self._handle_match(body, writer)
+            if route == ("POST", "/match/stream"):
+                return await self._handle_stream(body, writer)
+            if route == ("POST", "/admin/invalidate"):
+                return await self._handle_invalidate(body, writer)
+            if head.path in ("/healthz", "/stats", "/match", "/match/stream",
+                            "/admin/invalidate"):
+                return await self._respond_error(
+                    writer, 405, f"{head.method} not allowed on {head.path}",
+                    "MethodNotAllowed",
+                )
+            return await self._respond_error(
+                writer, 404, f"no such route: {head.path}", "NotFound"
+            )
+        except (ConnectionError, BrokenPipeError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - the 500 boundary
+            traceback.print_exc(file=sys.stderr)
+            return await self._respond_error(
+                writer, 500, str(exc), type(exc).__name__
+            )
+
+    async def _respond(self, writer, status: int, payload: dict) -> bool:
+        self._responses[status] = self._responses.get(status, 0) + 1
+        writer.write(protocol.format_response(status, _json_bytes(payload)))
+        await writer.drain()
+        return True
+
+    async def _respond_error(
+        self, writer, status: int, message: str, error_type: str
+    ) -> bool:
+        self._responses[status] = self._responses.get(status, 0) + 1
+        writer.write(
+            protocol.format_response(status, _error_payload(message, error_type))
+        )
+        await writer.drain()
+        return True
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _healthz(self) -> dict:
+        return {"status": "ok", "datasets": sorted(self.service.catalog.names())}
+
+    def _stats_payload(self) -> dict:
+        payload = self.service.stats().to_dict()
+        store = getattr(self.service, "plan_store", None)
+        if store is not None:
+            payload["plan_store"] = store.stats().to_dict()
+        payload["server"] = {
+            "http_requests": int(self._http_requests),
+            "responses": {
+                str(code): int(count)
+                for code, count in sorted(self._responses.items())
+            },
+            "streams": int(self._streams),
+            "streams_cancelled": int(self._streams_cancelled),
+            "max_concurrency": int(self.max_concurrency),
+        }
+        return payload
+
+    @staticmethod
+    def _parse_request_body(body: bytes) -> MatchRequest:
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ReproError("request body must be a JSON object")
+        return MatchRequest.from_dict(payload)
+
+    async def _handle_match(self, body: bytes, writer) -> bool:
+        loop = asyncio.get_running_loop()
+        try:
+            request = self._parse_request_body(body)
+            async with self._semaphore:
+                response = await loop.run_in_executor(
+                    self._executor, self.service.submit, request
+                )
+        except ReproError as exc:
+            return await self._respond_error(
+                writer, 400, str(exc), type(exc).__name__
+            )
+        return await self._respond(writer, 200, response.to_dict())
+
+    async def _handle_stream(self, body: bytes, writer) -> bool:
+        """The chunked streaming route.
+
+        Planning and every per-embedding pull are blocking calls, so
+        each hops through the executor; between pulls the handler
+        writes one chunk and drains, which is what bounds the server's
+        buffering to one in-flight embedding per stream and lets the
+        client see the first match before the search finishes.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            request = self._parse_request_body(body)
+            limit = None if request.match_limit is UNSET else request.match_limit
+            async with self._semaphore:
+                stream = await loop.run_in_executor(
+                    self._executor,
+                    lambda: self.service.stream(
+                        request.dataset, request.query,
+                        limit=limit, orderer=request.orderer,
+                    ),
+                )
+        except ReproError as exc:
+            return await self._respond_error(
+                writer, 400, str(exc), type(exc).__name__
+            )
+        self._streams += 1
+        self._responses[200] = self._responses.get(200, 0) + 1
+        writer.write(protocol.response_head(200))
+        try:
+            while True:
+                async with self._semaphore:
+                    match = await loop.run_in_executor(
+                        self._executor, _next_or_none, stream
+                    )
+                if match is None:
+                    break
+                line = _json_bytes({"match": [int(v) for v in match]}) + b"\n"
+                writer.write(protocol.encode_chunk(line))
+                await writer.drain()
+            summary = _json_bytes({
+                "done": True,
+                "num_matches": int(stream.num_matches),
+                "num_enumerations": int(stream.num_enumerations),
+                "timed_out": bool(stream.timed_out),
+                "limit_reached": bool(stream.limit_reached),
+            }) + b"\n"
+            writer.write(protocol.encode_chunk(summary))
+            writer.write(protocol.LAST_CHUNK)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            # Client hung up mid-stream: stop the search (the service
+            # still meters the request through the stream's finalizer).
+            self._streams_cancelled += 1
+            await loop.run_in_executor(self._executor, stream.close)
+            raise
+        except Exception:  # noqa: BLE001 - mid-stream failure
+            # The chunked head is already on the wire, so a status-coded
+            # answer is impossible; a truncated chunk stream (no last
+            # chunk) is the unambiguous error signal.
+            traceback.print_exc(file=sys.stderr)
+            self._streams_cancelled += 1
+            await loop.run_in_executor(self._executor, stream.close)
+            return False
+        return True
+
+    async def _handle_invalidate(self, body: bytes, writer) -> bool:
+        loop = asyncio.get_running_loop()
+        dataset = None
+        if body.strip():
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                return await self._respond_error(
+                    writer, 400, f"invalid JSON body: {exc}", "ReproError"
+                )
+            if not isinstance(payload, dict):
+                return await self._respond_error(
+                    writer, 400, "body must be a JSON object", "ReproError"
+                )
+            dataset = payload.get("dataset")
+        try:
+            dropped = await loop.run_in_executor(
+                self._executor, self.service.invalidate, dataset
+            )
+        except ReproError as exc:
+            return await self._respond_error(
+                writer, 400, str(exc), type(exc).__name__
+            )
+        return await self._respond(
+            writer, 200, {"invalidated": int(dropped), "dataset": dataset}
+        )
+
+
+class BackgroundServer:
+    """Context manager running a :class:`MatchServer` on a daemon thread.
+
+    The pattern tests, examples and the load generator's ``--self-host``
+    mode share: enter to get a listening server (its event loop runs on
+    a private thread), read :attr:`address`, exit to shut it down.
+
+    Examples
+    --------
+    >>> from repro.server import BackgroundServer     # doctest: +SKIP
+    >>> with BackgroundServer(service) as bg:         # doctest: +SKIP
+    ...     host, port = bg.address                   # doctest: +SKIP
+    """
+
+    def __init__(self, service: MatchService, **server_kwargs):
+        self.server = MatchServer(service, **server_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` of the running server."""
+        return self.server.address
+
+    @property
+    def url(self) -> str:
+        """``http://host:port`` of the running server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> "BackgroundServer":
+        self._loop = asyncio.new_event_loop()
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # noqa: BLE001 - reported to entrant
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            try:
+                self._loop.run_forever()
+            finally:
+                self._loop.run_until_complete(self.server.stop())
+                # Connections still parked in their keep-alive loops
+                # hold pending tasks; cancel and let them unwind before
+                # the loop closes.
+                pending = asyncio.all_tasks(self._loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    self._loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                self._loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)

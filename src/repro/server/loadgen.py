@@ -1,0 +1,481 @@
+"""Closed-loop load harness: ``repro-loadtest`` and ``BENCH_serving.json``.
+
+Drives HTTP traffic against a live :mod:`repro.server` endpoint (or a
+``--self-host`` server stood up in-process on a free port) and reports
+the serving tier's perf row: client-side latency percentiles
+(p50/p95/p99), throughput, error rate, and per-phase attribution taken
+from the ``/stats`` delta across the run — how much of the served time
+was filtering, ordering and enumeration.
+
+Two traffic models:
+
+``--mode closed`` (default)
+    ``--clients`` workers each issue requests back-to-back over
+    persistent connections until ``--requests`` total responses have
+    arrived — the classic closed loop whose offered load adapts to the
+    server, giving stable, CI-gateable numbers.
+``--mode open``
+    Poisson arrivals at ``--rate`` req/s (seeded, so the schedule is
+    reproducible): requests fire at their scheduled times regardless of
+    completions, and latency is measured from the *scheduled* arrival —
+    queueing delay under overload shows up in the percentiles instead
+    of being absorbed, the honest open-model figure.
+
+Requests cycle deterministically through a
+:func:`repro.datasets.query_workload` evaluation split, so the summed
+match counts and ``#enum`` across a run are reproducible — the output
+side of the CI gate: ``--compare`` fails on any drift in those totals,
+on any non-2xx response, and on a calibration-normalized p95 latency
+regression beyond ``--tolerance`` (both sides are divided by their own
+run's machine-calibration seconds — the same reference load as
+``benchmarks/bench_matching.py`` — so a committed baseline transfers
+across machine speeds).
+
+Not collected by pytest (no ``test_`` prefix in the CLI); run it::
+
+    PYTHONPATH=src python -m repro.server.loadgen --self-host --quick \
+        --output BENCH_serving.json \
+        --compare benchmarks/baselines/bench_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import load_dataset, query_workload
+from repro.service.requests import MatchRequest
+
+__all__ = ["main", "run_load", "compare_against_baseline"]
+
+SCHEMA = 1
+
+#: Serving-profile defaults: small enough that the quick profile is
+#: CI-sized, large enough that percentiles mean something.
+DEFAULT_MATCH_LIMIT = 10_000
+DEFAULT_TIME_LIMIT = 30.0
+
+
+def _calibrate() -> float:
+    """Machine-speed proxy: best-of-3 seconds for a fixed reference load.
+
+    Deliberately the *same* reference load as
+    ``benchmarks/bench_matching.py`` (kept in sync by
+    ``tests/server/test_loadgen.py``), so serving and matching baselines
+    normalize on the same scale.  Duplicated rather than imported:
+    ``benchmarks/`` is not an installable package, the library cannot
+    depend on it.
+    """
+    rng = np.random.default_rng(0)
+    a = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
+    b = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
+    walk = a.tolist()
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        sink = 0
+        for _ in range(150):
+            idx = b.searchsorted(a)
+            np.minimum(idx, b.size - 1, out=idx)
+            sink += int((b[idx] == a).sum())
+            for v in walk:
+                sink ^= v
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def _build_request_bodies(
+    dataset: str, size: int, count: int,
+    match_limit: int, time_limit: float,
+) -> list[bytes]:
+    """Pre-encoded request bodies for a deterministic workload cycle."""
+    data = load_dataset(dataset)
+    queries = query_workload(dataset, size=size, count=count, data=data).eval
+    bodies = []
+    for i, query in enumerate(queries):
+        request = MatchRequest(
+            dataset, query,
+            match_limit=match_limit, time_limit=time_limit, tag=f"q{i}",
+        )
+        bodies.append(json.dumps(request.to_dict()).encode("utf-8"))
+    return bodies
+
+
+def _http_get_json(host: str, port: int, path: str, timeout: float = 30.0):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        payload = response.read()
+        if response.status != 200:
+            raise RuntimeError(f"GET {path} -> {response.status}")
+        return json.loads(payload)
+    finally:
+        conn.close()
+
+
+class _Outcome:
+    """Mutable per-run collector shared by the client workers."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies: list[float] = []
+        self.errors = 0
+        self.statuses: dict[int, int] = {}
+        self.matches = 0
+        self.enumerations = 0
+        self.cache_hits = 0
+
+    def record(self, status: int, latency: float, payload: dict | None) -> None:
+        with self.lock:
+            self.latencies.append(latency)
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if status != 200 or payload is None or payload.get("error"):
+                self.errors += 1
+                return
+            self.matches += int(payload.get("num_matches", 0))
+            self.enumerations += int(payload.get("num_enumerations", 0))
+            self.cache_hits += bool(payload.get("cache_hit"))
+
+
+def _issue(conn: http.client.HTTPConnection, body: bytes) -> tuple[int, dict | None]:
+    """One POST /match over a persistent connection; reconnects once."""
+    for attempt in (0, 1):
+        try:
+            conn.request(
+                "POST", "/match", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                payload = None
+            return response.status, payload
+        except (ConnectionError, http.client.HTTPException, OSError):
+            conn.close()
+            if attempt:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def run_load(
+    host: str,
+    port: int,
+    bodies: list[bytes],
+    *,
+    requests: int,
+    clients: int,
+    mode: str = "closed",
+    rate: float = 50.0,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> dict:
+    """Drive the traffic model and return the raw measurement dict.
+
+    Request ``i`` (globally ordered) always carries ``bodies[i % len]``,
+    which is what makes the summed outputs schedule-independent: any
+    interleaving serves the same multiset of queries.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    outcome = _Outcome()
+    counter = iter(range(requests))
+    counter_lock = threading.Lock()
+    # Open-model schedule: seeded Poisson arrivals, fixed before t0.
+    offsets = (
+        np.cumsum(np.random.default_rng(seed).exponential(1.0 / rate, requests))
+        if mode == "open"
+        else None
+    )
+    t0 = time.perf_counter()
+
+    def worker() -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            while True:
+                with counter_lock:
+                    index = next(counter, None)
+                if index is None:
+                    return
+                if offsets is not None:
+                    scheduled = t0 + float(offsets[index])
+                    delay = scheduled - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    issued = scheduled
+                else:
+                    issued = time.perf_counter()
+                try:
+                    status, payload = _issue(conn, bodies[index % len(bodies)])
+                except (ConnectionError, http.client.HTTPException, OSError):
+                    outcome.record(0, time.perf_counter() - issued, None)
+                    continue
+                outcome.record(status, time.perf_counter() - issued, payload)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(max(1, clients))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+
+    window = sorted(outcome.latencies)
+    return {
+        "mode": mode,
+        "requests": requests,
+        "clients": clients,
+        "rate_rps": float(rate) if mode == "open" else None,
+        "wall_s": round(wall, 6),
+        "throughput_rps": round(len(window) / max(wall, 1e-9), 2),
+        "errors": outcome.errors,
+        "statuses": {str(k): v for k, v in sorted(outcome.statuses.items())},
+        "latency_p50_s": round(_percentile(window, 0.50), 6),
+        "latency_p95_s": round(_percentile(window, 0.95), 6),
+        "latency_p99_s": round(_percentile(window, 0.99), 6),
+        "totals": {
+            "matches": outcome.matches,
+            "num_enumerations": outcome.enumerations,
+        },
+        "cache_hits": outcome.cache_hits,
+    }
+
+
+def _phase_attribution(before: dict, after: dict) -> dict:
+    """Per-phase seconds actually spent serving this run (stats delta)."""
+    return {
+        phase: round(
+            float(after.get(phase, 0.0)) - float(before.get(phase, 0.0)), 6
+        )
+        for phase in ("filter_time_s", "order_time_s", "enum_time_s")
+    }
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison (the CI serve-smoke gate)
+# ---------------------------------------------------------------------------
+def compare_against_baseline(report: dict, baseline: dict, tolerance: float) -> bool:
+    """Gate this run against a committed baseline report.
+
+    Output drift — the summed match counts or ``#enum`` across the run,
+    or the request count itself — is a hard failure: the serving path
+    must stay bit-identical to the engines beneath it.  Any non-2xx
+    response fails.  The p95 latency may regress by at most
+    ``tolerance`` (relative), compared calibration-normalized so the
+    committed baseline transfers across machine speeds; improvements
+    always pass.
+    """
+    ok = True
+    for field in ("requests", "mode"):
+        if report.get(field) != baseline.get(field):
+            print(
+                f"  compare: PROFILE MISMATCH on {field}: "
+                f"{baseline.get(field)!r} -> {report.get(field)!r}"
+            )
+            ok = False
+    for field in ("matches", "num_enumerations"):
+        mine = report.get("totals", {}).get(field)
+        theirs = baseline.get("totals", {}).get(field)
+        if mine != theirs:
+            print(
+                f"  compare: OUTPUT DRIFT on totals.{field}: "
+                f"{theirs:,} -> {mine:,}"
+            )
+            ok = False
+    if report.get("errors"):
+        print(f"  compare: {report['errors']} non-2xx/failed responses")
+        ok = False
+    base_p95 = baseline.get("latency_p95_s")
+    this_p95 = report.get("latency_p95_s")
+    base_cal = baseline.get("calibration_s") or 1.0
+    this_cal = report.get("calibration_s") or 1.0
+    if base_p95:
+        base_norm = base_p95 / base_cal
+        this_norm = this_p95 / this_cal
+        budget = base_norm * (1.0 + tolerance)
+        verdict = "ok" if this_norm <= budget else "LATENCY REGRESSION"
+        print(
+            f"  compare: p95 {this_p95 * 1e3:.1f}ms "
+            f"(normalized {this_norm:.3f}) vs baseline "
+            f"{base_p95 * 1e3:.1f}ms (normalized {base_norm:.3f}; "
+            f"budget {budget:.3f} @ +{tolerance:.0%}) — {verdict}"
+        )
+        ok &= this_norm <= budget
+    return ok
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadtest",
+        description="Load-test a repro.server endpoint and emit BENCH_serving.json.",
+    )
+    parser.add_argument(
+        "--url", default=None,
+        help="server base URL (http://host:port); omit to --self-host",
+    )
+    parser.add_argument(
+        "--self-host", action="store_true",
+        help="stand up an in-process server on a free port for the run",
+    )
+    parser.add_argument("--dataset", default="citeseer", help="workload dataset")
+    parser.add_argument("--query-size", type=int, default=8, help="|V(q)|")
+    parser.add_argument(
+        "--queries", type=int, default=8,
+        help="distinct workload queries cycled through",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=64, help="total requests to issue"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, help="concurrent client connections"
+    )
+    parser.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed loop (default) or open-model Poisson arrivals",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=50.0,
+        help="open-model arrival rate in requests/second",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="arrival-schedule seed")
+    parser.add_argument(
+        "--match-limit", type=int, default=DEFAULT_MATCH_LIMIT,
+        help="per-request match limit (part of the deterministic profile)",
+    )
+    parser.add_argument(
+        "--plan-store", default=None, metavar="PATH",
+        help="persistent plan store for the self-hosted server",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized preset: 6 queries, 36 requests, 4 clients",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_serving.json", help="where to write the report"
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="baseline JSON to gate against (drift + errors + p95)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative p95 regression vs the baseline",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.quick:
+        args.queries = 6
+        args.requests = 36
+        args.clients = 4
+
+    calibration = _calibrate()
+    print(
+        f"machine calibration: {calibration * 1e3:.1f}ms (reference load)",
+        file=sys.stderr,
+    )
+    bodies = _build_request_bodies(
+        args.dataset, args.query_size, args.queries,
+        args.match_limit, DEFAULT_TIME_LIMIT,
+    )
+
+    self_host = args.self_host or args.url is None
+    background = None
+    if self_host:
+        # Imported lazily: a remote-target run needs no service stack.
+        from repro.server.http import BackgroundServer
+        from repro.service.service import MatchService
+
+        service = MatchService(
+            catalog=[args.dataset], plan_store=args.plan_store
+        )
+        background = BackgroundServer(service, port=0)
+        background.__enter__()
+        host, port = background.address
+        print(f"self-hosting at http://{host}:{port}", file=sys.stderr)
+    else:
+        target = args.url.removeprefix("http://").rstrip("/")
+        host, _, port_text = target.partition(":")
+        port = int(port_text or 80)
+
+    try:
+        stats_before = _http_get_json(host, port, "/stats")
+        measurement = run_load(
+            host, port, bodies,
+            requests=args.requests, clients=args.clients,
+            mode=args.mode, rate=args.rate, seed=args.seed,
+        )
+        stats_after = _http_get_json(host, port, "/stats")
+    finally:
+        if background is not None:
+            background.__exit__(None, None, None)
+
+    report = {
+        "schema": SCHEMA,
+        "quick": bool(args.quick),
+        "dataset": args.dataset,
+        "query_size": args.query_size,
+        "queries": args.queries,
+        "match_limit": args.match_limit,
+        "calibration_s": round(calibration, 6),
+        **measurement,
+        "phases": _phase_attribution(stats_before, stats_after),
+        "server": {
+            "latency_p95_s": stats_after.get("latency_p95_s"),
+            "latency_p99_s": stats_after.get("latency_p99_s"),
+            "cache": stats_after.get("cache"),
+            "plan_store": stats_after.get("plan_store"),
+        },
+    }
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"{measurement['requests']} requests, "
+        f"{measurement['errors']} errors, "
+        f"{measurement['throughput_rps']:.1f} req/s, "
+        f"p50={measurement['latency_p50_s'] * 1e3:.1f}ms "
+        f"p95={measurement['latency_p95_s'] * 1e3:.1f}ms "
+        f"p99={measurement['latency_p99_s'] * 1e3:.1f}ms",
+        file=sys.stderr,
+    )
+    print(f"report written to {out_path}", file=sys.stderr)
+
+    ok = measurement["errors"] == 0
+    if not ok:
+        print("LOADTEST FAILED: non-2xx or failed responses", file=sys.stderr)
+    if args.compare is not None:
+        baseline = json.loads(Path(args.compare).read_text())
+        ok &= compare_against_baseline(report, baseline, args.tolerance)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

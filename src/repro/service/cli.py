@@ -19,6 +19,11 @@ Examples
     repro-serve requests.jsonl --output responses.jsonl
     repro-serve requests.jsonl --datasets citeseer,yeast --workers 8
     repro-serve requests.jsonl --stats > responses_and_stats.jsonl
+    repro-serve requests.jsonl --plan-store plans.sqlite --stats-json stats.json
+
+With ``--plan-store`` the plan cache persists to sqlite, so a repeat
+run over the same (or isomorphic) queries starts warm — Phases
+(1)–(2) are served from the store instead of re-planned.
 """
 
 from __future__ import annotations
@@ -63,6 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="append a {'stats': ...} JSON line after the responses",
     )
+    parser.add_argument(
+        "--plan-store", default=None, metavar="PATH",
+        help="sqlite file for the persistent plan tier: plans survive the "
+        "process, so repeat runs start warm (created on demand)",
+    )
+    parser.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="also write the final stats snapshot to PATH as JSON",
+    )
     return parser
 
 
@@ -105,7 +119,8 @@ def main(argv: list[str] | None = None) -> int:
         else None
     )
     service = MatchService(
-        catalog=datasets, cache_bytes=args.cache_bytes, max_workers=args.workers
+        catalog=datasets, cache_bytes=args.cache_bytes, max_workers=args.workers,
+        plan_store=args.plan_store,
     )
     responses = service.submit_many(requests)
 
@@ -123,6 +138,10 @@ def main(argv: list[str] | None = None) -> int:
             out.close()
 
     stats = service.stats()
+    if args.stats_json is not None:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
     failed = sum(1 for r in responses if not r.ok)
     print(
         f"repro-serve: {len(responses)} responses "

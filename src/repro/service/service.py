@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -46,10 +45,69 @@ from repro.service.cache import DEFAULT_CACHE_BYTES, CacheStats, PlanCache
 from repro.service.catalog import DatasetCatalog
 from repro.service.requests import UNSET, MatchRequest, MatchResponse
 
-__all__ = ["MatchService", "ServiceStats"]
+__all__ = ["LatencyRing", "MatchService", "ServiceStats"]
 
-#: Latency ring-buffer size for the percentile snapshot.
+#: Default latency ring-buffer size for the percentile snapshot.
 LATENCY_WINDOW = 8192
+
+
+class LatencyRing:
+    """Fixed-capacity ring over the most recent request latencies.
+
+    A long-lived server must not grow per-request state without bound,
+    so percentile tracking keeps exactly the last ``capacity`` samples —
+    the buffer is capped, appends past it overwrite the oldest sample in
+    place, and the total observation count keeps counting.  Not a
+    sampling reservoir on purpose: latency percentiles should reflect
+    *recent* traffic, and a sliding window is also the cheaper invariant
+    to test (``tests/server/test_latency_ring.py`` pins the bound).
+
+    Examples
+    --------
+    >>> ring = LatencyRing(capacity=4)
+    >>> for v in [5.0, 1.0, 2.0, 3.0, 4.0]:
+    ...     ring.append(v)
+    >>> ring.count, len(ring)            # 5 seen, 4 retained
+    (5, 4)
+    >>> sorted(ring.window())            # the 5.0 was overwritten
+    [1.0, 2.0, 3.0, 4.0]
+    """
+
+    __slots__ = ("_buffer", "_capacity", "_next", "_count")
+
+    def __init__(self, capacity: int = LATENCY_WINDOW):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = int(capacity)
+        self._buffer: list[float] = []
+        self._next = 0
+        self._count = 0
+
+    def append(self, value: float) -> None:
+        """Record one sample, evicting the oldest once at capacity."""
+        if len(self._buffer) < self._capacity:
+            self._buffer.append(float(value))
+        else:
+            self._buffer[self._next] = float(value)
+        self._next = (self._next + 1) % self._capacity
+        self._count += 1
+
+    def window(self) -> list[float]:
+        """A copy of the retained samples (unordered)."""
+        return list(self._buffer)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Total samples ever appended (retained or evicted)."""
+        return self._count
+
+    def __len__(self) -> int:
+        return len(self._buffer)
 
 
 @dataclass(frozen=True)
@@ -59,8 +117,9 @@ class ServiceStats:
     Per-phase totals count work actually performed: planning time is
     added only on cache misses (hits re-use, they don't re-pay), while
     enumeration time accrues on every served request.  Latency
-    percentiles are computed over a sliding window of the most recent
-    :data:`LATENCY_WINDOW` requests.  ``shard_enum_time_s`` attributes
+    percentiles are computed over the bounded :class:`LatencyRing`
+    sliding window (the most recent requests; default
+    :data:`LATENCY_WINDOW`).  ``shard_enum_time_s`` attributes
     enumeration seconds per shard, keyed ``"<dataset>/<shard_id>"`` —
     populated only by sharded datasets, and summing to more than the
     wall clock when the shard pool overlaps shards.
@@ -74,6 +133,7 @@ class ServiceStats:
     enum_time_s: float
     latency_p50_s: float
     latency_p95_s: float
+    latency_p99_s: float = 0.0
     shard_enum_time_s: dict = field(default_factory=dict)
 
     @property
@@ -92,6 +152,7 @@ class ServiceStats:
             "enum_time_s": float(self.enum_time_s),
             "latency_p50_s": float(self.latency_p50_s),
             "latency_p95_s": float(self.latency_p95_s),
+            "latency_p99_s": float(self.latency_p99_s),
             "shard_enum_time_s": {
                 key: float(value)
                 for key, value in sorted(self.shard_enum_time_s.items())
@@ -122,6 +183,14 @@ class MatchService:
         carries a cache).
     max_workers:
         Default thread-pool width for :meth:`submit_many`.
+    plan_store:
+        Optional persistent second cache tier: a
+        :class:`~repro.server.store.PlanStore`, or a path handed to its
+        constructor.  Cached plans are written through durably and a
+        fresh process consults the store on memory misses, so warm
+        state survives restarts and is shareable across workers.
+    latency_window:
+        Capacity of the bounded :class:`LatencyRing` percentile window.
 
     Examples
     --------
@@ -146,16 +215,33 @@ class MatchService:
         *,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         max_workers: int | None = None,
+        plan_store=None,
+        latency_window: int = LATENCY_WINDOW,
     ):
+        if plan_store is not None and not hasattr(plan_store, "get"):
+            # A path was passed; the import is local so the core service
+            # stays importable without the server package in play.
+            from repro.server.store import PlanStore
+
+            plan_store = PlanStore(plan_store)
         if isinstance(catalog, DatasetCatalog):
             self.catalog = catalog
             if self.catalog.plan_cache is None:
                 # attach (not assign): matchers the catalog already
                 # constructed must start caching too.
-                self.catalog.attach_plan_cache(PlanCache(cache_bytes))
+                self.catalog.attach_plan_cache(
+                    PlanCache(cache_bytes, store=plan_store)
+                )
+            elif plan_store is not None:
+                self.catalog.plan_cache.attach_store(plan_store)
         else:
-            self.catalog = DatasetCatalog(catalog, plan_cache=PlanCache(cache_bytes))
+            self.catalog = DatasetCatalog(
+                catalog, plan_cache=PlanCache(cache_bytes, store=plan_store)
+            )
         self.plan_cache = self.catalog.plan_cache
+        self.plan_store = (
+            self.plan_cache.store if self.plan_cache is not None else None
+        )
         self.max_workers = max_workers if max_workers is not None else 4
         self._lock = threading.Lock()
         self._requests = 0
@@ -164,7 +250,7 @@ class MatchService:
         self._order_time = 0.0
         self._enum_time = 0.0
         self._shard_enum_time: dict[str, float] = {}
-        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._latencies = LatencyRing(latency_window)
         self._shard_executor: ThreadPoolExecutor | None = None
 
     def _shard_pool(self) -> ThreadPoolExecutor:
@@ -424,7 +510,7 @@ class MatchService:
             else CacheStats(0, 0, 0, 0, 0, 0)
         )
         with self._lock:
-            window = sorted(self._latencies)
+            window = sorted(self._latencies.window())
             return ServiceStats(
                 requests=self._requests,
                 errors=self._errors,
@@ -434,6 +520,7 @@ class MatchService:
                 enum_time_s=self._enum_time,
                 latency_p50_s=_percentile(window, 0.50),
                 latency_p95_s=_percentile(window, 0.95),
+                latency_p99_s=_percentile(window, 0.99),
                 shard_enum_time_s=dict(self._shard_enum_time),
             )
 

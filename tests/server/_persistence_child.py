@@ -1,0 +1,54 @@
+"""Subprocess body for the cross-process plan-persistence test.
+
+Invoked as::
+
+    python _persistence_child.py <store_path|none> <relabel_seed|none>
+
+Builds the deterministic data graph and query, serves one recorded
+match request through a :class:`MatchService` backed by the given plan
+store (or none), and prints a single JSON object with the response and
+the service's stats — everything the parent test needs to assert the
+warm-start contract across a real process boundary.
+"""
+
+import json
+import sys
+
+import numpy as np
+
+from repro.graphs import erdos_renyi, extract_query
+from repro.graphs.canonical import relabel_graph
+from repro.service import MatchRequest, MatchService
+
+
+def main() -> int:
+    store_path = None if sys.argv[1] == "none" else sys.argv[1]
+    relabel_seed = None if sys.argv[2] == "none" else int(sys.argv[2])
+
+    data = erdos_renyi(150, 450, 3, seed=13)
+    query = extract_query(data, 4, np.random.default_rng(5))
+    if relabel_seed is not None:
+        rng = np.random.default_rng(relabel_seed)
+        query = relabel_graph(query, rng.permutation(query.num_vertices))
+
+    service = MatchService(catalog={"d": data}, plan_store=store_path)
+    response = service.submit(
+        MatchRequest("d", query, match_limit=500, record_matches=True)
+    )
+    stats = service.stats()
+    print(json.dumps({
+        "cache_hit": response.cache_hit,
+        "fingerprint": response.fingerprint,
+        "order": list(response.order),
+        "num_matches": response.num_matches,
+        "num_enumerations": response.num_enumerations,
+        "matches": [list(m) for m in response.matches],
+        "service_filter_time_s": stats.filter_time_s,
+        "service_order_time_s": stats.order_time_s,
+        "store_hits": stats.cache.store_hits,
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

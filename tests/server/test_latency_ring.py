@@ -1,0 +1,57 @@
+"""Pins the bounded latency window: server memory must not grow per-request."""
+
+import pytest
+
+from repro.service.service import LATENCY_WINDOW, LatencyRing, MatchService
+
+
+class TestLatencyRing:
+    def test_retention_is_bounded_by_capacity(self):
+        ring = LatencyRing(capacity=64)
+        for i in range(10_000):
+            ring.append(float(i))
+        assert len(ring) == 64
+        assert ring.capacity == 64
+        assert ring.count == 10_000
+        # Exactly the most recent samples survive.
+        assert sorted(ring.window()) == [float(i) for i in range(9_936, 10_000)]
+
+    def test_below_capacity_keeps_everything(self):
+        ring = LatencyRing(capacity=8)
+        for v in (3.0, 1.0, 2.0):
+            ring.append(v)
+        assert sorted(ring.window()) == [1.0, 2.0, 3.0]
+        assert (len(ring), ring.count) == (3, 3)
+
+    def test_window_is_a_copy(self):
+        ring = LatencyRing(capacity=4)
+        ring.append(1.0)
+        ring.window().append(99.0)
+        assert ring.window() == [1.0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyRing(0)
+
+
+class TestServiceIntegration:
+    def test_service_uses_the_ring_with_default_window(self, dense_graph):
+        service = MatchService(catalog={"d": dense_graph})
+        assert isinstance(service._latencies, LatencyRing)
+        assert service._latencies.capacity == LATENCY_WINDOW
+
+    def test_latency_window_is_configurable_and_binding(self, dense_graph):
+        from repro.graphs import extract_query
+        import numpy as np
+
+        service = MatchService(catalog={"d": dense_graph}, latency_window=3)
+        rng = np.random.default_rng(2)
+        from repro.service import MatchRequest
+
+        for _ in range(5):
+            service.submit(MatchRequest("d", extract_query(dense_graph, 3, rng)))
+        assert len(service._latencies) == 3
+        assert service._latencies.count == 5
+        stats = service.stats()
+        assert stats.latency_p50_s > 0.0
+        assert stats.latency_p99_s >= stats.latency_p95_s >= stats.latency_p50_s

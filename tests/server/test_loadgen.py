@@ -1,0 +1,197 @@
+"""Tests for the closed-loop load harness and its CI gate."""
+
+import ast
+import importlib.util
+import inspect
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi, extract_query
+from repro.server import BackgroundServer
+from repro.server import loadgen
+from repro.service import MatchRequest, MatchService
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def tiny_server():
+    data = erdos_renyi(150, 450, 3, seed=11)
+    service = MatchService(catalog={"tiny": data})
+    rng = np.random.default_rng(2)
+    bodies = [
+        json.dumps(
+            MatchRequest(
+                "tiny", extract_query(data, 4, rng), match_limit=200, tag=f"q{i}"
+            ).to_dict()
+        ).encode()
+        for i in range(3)
+    ]
+    with BackgroundServer(service) as background:
+        host, port = background.address
+        yield host, port, bodies
+
+
+class TestRunLoad:
+    def test_closed_loop_totals_are_deterministic(self, tiny_server):
+        host, port, bodies = tiny_server
+        first = loadgen.run_load(
+            host, port, bodies, requests=9, clients=3, mode="closed"
+        )
+        second = loadgen.run_load(
+            host, port, bodies, requests=9, clients=2, mode="closed"
+        )
+        assert first["errors"] == 0 and second["errors"] == 0
+        # Request i always carries bodies[i % len]: the summed outputs
+        # are independent of client count and scheduling.
+        assert first["totals"] == second["totals"]
+        assert first["statuses"] == {"200": 9}
+
+    def test_open_mode_respects_the_seeded_schedule(self, tiny_server):
+        host, port, bodies = tiny_server
+        report = loadgen.run_load(
+            host, port, bodies,
+            requests=6, clients=3, mode="open", rate=200.0, seed=7,
+        )
+        assert report["errors"] == 0
+        assert report["mode"] == "open" and report["rate_rps"] == 200.0
+        assert len(report["statuses"]) == 1
+
+    def test_latency_percentiles_are_ordered(self, tiny_server):
+        host, port, bodies = tiny_server
+        report = loadgen.run_load(
+            host, port, bodies, requests=8, clients=2
+        )
+        assert (
+            0.0
+            < report["latency_p50_s"]
+            <= report["latency_p95_s"]
+            <= report["latency_p99_s"]
+        )
+
+    def test_unknown_mode_is_rejected(self, tiny_server):
+        host, port, bodies = tiny_server
+        with pytest.raises(ValueError):
+            loadgen.run_load(host, port, bodies, requests=1, clients=1, mode="x")
+
+
+class TestCompareGate:
+    def report(self, **overrides):
+        base = {
+            "schema": loadgen.SCHEMA,
+            "mode": "closed",
+            "requests": 36,
+            "errors": 0,
+            "latency_p95_s": 0.1,
+            "calibration_s": 0.05,
+            "totals": {"matches": 1000, "num_enumerations": 2000},
+        }
+        base.update(overrides)
+        return base
+
+    def test_identical_reports_pass(self, capsys):
+        report = self.report()
+        assert loadgen.compare_against_baseline(report, self.report(), 0.25)
+
+    def test_output_drift_fails_hard(self, capsys):
+        drifted = self.report(totals={"matches": 999, "num_enumerations": 2000})
+        assert not loadgen.compare_against_baseline(drifted, self.report(), 0.25)
+        assert "OUTPUT DRIFT" in capsys.readouterr().out
+
+    def test_any_error_fails(self, capsys):
+        assert not loadgen.compare_against_baseline(
+            self.report(errors=1), self.report(), 0.25
+        )
+
+    def test_p95_regression_fails_normalized(self, capsys):
+        # 3x slower on the same machine speed: over any sane tolerance.
+        slow = self.report(latency_p95_s=0.3)
+        assert not loadgen.compare_against_baseline(slow, self.report(), 0.25)
+        assert "LATENCY REGRESSION" in capsys.readouterr().out
+
+    def test_calibration_normalization_transfers_across_machines(self, capsys):
+        # A machine half as fast (2x calibration) with 1.8x the p95 is
+        # *faster* normalized — must pass.
+        slow_machine = self.report(latency_p95_s=0.18, calibration_s=0.1)
+        assert loadgen.compare_against_baseline(slow_machine, self.report(), 0.25)
+
+    def test_profile_mismatch_fails(self, capsys):
+        assert not loadgen.compare_against_baseline(
+            self.report(requests=12), self.report(), 0.25
+        )
+
+
+class TestCli:
+    def test_self_host_quick_run_and_self_compare(self, tmp_path, monkeypatch):
+        # Keep the in-test profile tiny: the full quick profile belongs
+        # to CI's serve-smoke job.
+        out = tmp_path / "BENCH_serving.json"
+        code = loadgen.main([
+            "--self-host", "--dataset", "citeseer",
+            "--queries", "2", "--requests", "6", "--clients", "2",
+            "--match-limit", "500",
+            "--output", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == loadgen.SCHEMA
+        assert report["requests"] == 6 and report["errors"] == 0
+        assert report["totals"]["matches"] > 0
+        assert report["phases"]["enum_time_s"] >= 0.0
+        assert report["phases"]["filter_time_s"] > 0.0
+        assert report["latency_p99_s"] >= report["latency_p50_s"] > 0.0
+        # Gate the run against its own report: must pass.
+        again = tmp_path / "again.json"
+        code = loadgen.main([
+            "--self-host", "--dataset", "citeseer",
+            "--queries", "2", "--requests", "6", "--clients", "2",
+            "--match-limit", "500",
+            "--output", str(again), "--compare", str(out),
+            "--tolerance", "5.0",
+        ])
+        assert code == 0
+        # Tampered totals must fail the gate.
+        report["totals"]["matches"] += 1
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(report))
+        code = loadgen.main([
+            "--self-host", "--dataset", "citeseer",
+            "--queries", "2", "--requests", "6", "--clients", "2",
+            "--match-limit", "500",
+            "--output", str(tmp_path / "x.json"), "--compare", str(tampered),
+            "--tolerance", "5.0",
+        ])
+        assert code == 1
+
+
+def _function_body_dump(func_source: str) -> str:
+    """AST dump of a function body with its docstring stripped."""
+    tree = ast.parse(func_source)
+    function = tree.body[0]
+    body = function.body
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+    ):
+        body = body[1:]
+    return "\n".join(ast.dump(node) for node in body)
+
+
+def test_calibration_load_matches_bench_matching():
+    """The two ``_calibrate`` duplicates must stay the same reference load.
+
+    Serving and matching baselines normalize on this number; if one copy
+    drifts, cross-benchmark comparisons silently break.
+    """
+    spec = importlib.util.spec_from_file_location(
+        "bench_matching", REPO / "benchmarks" / "bench_matching.py"
+    )
+    bench = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench)
+    assert _function_body_dump(
+        inspect.getsource(bench._calibrate)
+    ) == _function_body_dump(inspect.getsource(loadgen._calibrate))
