@@ -11,12 +11,19 @@ The first stdout line is a JSON announcement of the bound address —
 (CI's serve-smoke job) discover the port when ``--port 0`` lets the OS
 pick one; all human-facing logging goes to stderr.
 
+With ``--scheduler`` the service gains the cost-aware admission tier:
+``POST /match`` requests are queued by (priority, deadline, estimated
+plan cost) with per-tenant budgets; backpressure answers
+``429 Too Many Requests`` + ``Retry-After`` and queue-deadline
+expiries answer 504, both carrying the stable error ``code``.
+
 Examples
 --------
 ::
 
     repro-server --datasets citeseer --port 8080
     repro-server --port 0 --plan-store plans.sqlite --max-concurrency 16
+    repro-server --scheduler --sched-workers 4 --tenant-max-inflight 8
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import sys
 from repro.errors import ReproError
 from repro.server.http import DEFAULT_CONCURRENCY, MatchServer
 from repro.service.cache import DEFAULT_CACHE_BYTES
+from repro.service.cli import add_scheduler_arguments, scheduler_config_from_args
 from repro.service.service import MatchService
 
 __all__ = ["main"]
@@ -63,6 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plan-store", default=None, metavar="PATH",
         help="sqlite file for the persistent plan tier (created on demand)",
     )
+    add_scheduler_arguments(parser)
     return parser
 
 
@@ -80,6 +89,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_bytes=args.cache_bytes,
             max_workers=args.workers,
             plan_store=args.plan_store,
+            scheduler=scheduler_config_from_args(args),
         )
         server = MatchServer(
             service, host=args.host, port=args.port,
@@ -101,7 +111,8 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"repro-server: serving {len(service.catalog)} dataset(s) at "
             f"http://{host}:{port} "
-            f"(plan store: {args.plan_store or 'none'})",
+            f"(plan store: {args.plan_store or 'none'}, "
+            f"scheduler: {'on' if service.scheduler is not None else 'off'})",
             file=sys.stderr,
         )
         await server.serve_forever()

@@ -34,12 +34,22 @@ Routes
     Drop cached plans — ``{"dataset": "name"}`` for one scope, empty
     body for everything — in both cache tiers.
 
-Error contract: malformed HTTP answers 400 and closes; a body that is
-not valid JSON or not a valid request, or a :class:`~repro.errors.
-ReproError` from the service (unknown dataset, bad limits), answers a
-structured ``{"error": ..., "type": ...}`` with status 400 and keeps
-the connection; anything unexpected answers 500.  Connections are
-HTTP/1.1 keep-alive.
+Error contract: malformed HTTP answers 400 and closes; every service
+failure answers the one error envelope of
+:mod:`repro.service.requests` — ``{"error": ..., "code": ...}`` (plus
+a legacy ``type`` field) — with the HTTP status derived from the
+stable ``code`` through the single
+:data:`~repro.service.requests.ERROR_HTTP_STATUS` table: validation
+errors 400, scheduler admission rejections **429 Too Many Requests**
+with a ``Retry-After`` header, queue-deadline expiries 504, anything
+unexpected 500.  Connections are HTTP/1.1 keep-alive.
+
+When the fronted service carries a cost-aware scheduler
+(``MatchService(..., scheduler=...)``), ``POST /match`` admits through
+it: the handler holds an executor slot only for admission, then awaits
+the scheduler future on the event loop — queued requests park without
+pinning server threads, and the bounded queue (not the semaphore) is
+the backpressure surface.
 """
 
 from __future__ import annotations
@@ -53,7 +63,13 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import ReproError
 from repro.server import protocol
-from repro.service.requests import UNSET, MatchRequest
+from repro.service.requests import (
+    UNSET,
+    MatchRequest,
+    error_code_for,
+    error_payload,
+    http_status_for,
+)
 from repro.service.service import MatchService
 
 __all__ = ["BackgroundServer", "MatchServer"]
@@ -67,8 +83,16 @@ def _json_bytes(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True).encode("utf-8")
 
 
-def _error_payload(message: str, error_type: str) -> bytes:
-    return _json_bytes({"error": message, "type": error_type})
+#: Default stable error code per HTTP status, for the protocol-level
+#: error sites that start from a status rather than an exception.
+_CODE_BY_STATUS = {500: "internal", 429: "rejected", 504: "timeout"}
+
+
+def _error_payload(message: str, error_type: str, code: str | None = None) -> bytes:
+    """The wire form of the one error envelope (+ legacy ``type``)."""
+    payload = error_payload(message, code=code or "validation")
+    payload["type"] = error_type
+    return _json_bytes(payload)
 
 
 def _next_or_none(iterator):
@@ -265,9 +289,35 @@ class MatchServer:
     async def _respond_error(
         self, writer, status: int, message: str, error_type: str
     ) -> bool:
+        body = _error_payload(
+            message, error_type, code=_CODE_BY_STATUS.get(status)
+        )
+        self._responses[status] = self._responses.get(status, 0) + 1
+        writer.write(protocol.format_response(status, body))
+        await writer.drain()
+        return True
+
+    async def _respond_exception(self, writer, exc: BaseException) -> bool:
+        """Answer a service failure entirely from the one error table.
+
+        The stable code picks the status
+        (:func:`~repro.service.requests.http_status_for`); a rejection
+        carrying ``retry_after_s`` surfaces it as the ``Retry-After``
+        header (whole seconds, rounded up) alongside the JSON field.
+        """
+        code = error_code_for(exc)
+        status = http_status_for(code)
+        payload = error_payload(exc)
+        payload["type"] = type(exc).__name__
+        headers = None
+        retry_after = payload.get("retry_after_s")
+        if retry_after is not None:
+            headers = {"Retry-After": str(max(1, int(-(-retry_after // 1))))}
         self._responses[status] = self._responses.get(status, 0) + 1
         writer.write(
-            protocol.format_response(status, _error_payload(message, error_type))
+            protocol.format_response(
+                status, _json_bytes(payload), extra_headers=headers
+            )
         )
         await writer.drain()
         return True
@@ -309,14 +359,26 @@ class MatchServer:
         loop = asyncio.get_running_loop()
         try:
             request = self._parse_request_body(body)
-            async with self._semaphore:
-                response = await loop.run_in_executor(
-                    self._executor, self.service.submit, request
-                )
+            if self.service.scheduler is not None:
+                # Scheduled path: the executor slot is held only for
+                # admission (planning/cost estimation); the queued
+                # request then parks on the event loop awaiting the
+                # scheduler future, so a deep queue never pins server
+                # threads.  Admission rejections and queue-deadline
+                # expiries surface here as ServiceError and map to
+                # 429/504 below.
+                async with self._semaphore:
+                    future = await loop.run_in_executor(
+                        self._executor, self.service.submit_scheduled, request
+                    )
+                response = await asyncio.wrap_future(future)
+            else:
+                async with self._semaphore:
+                    response = await loop.run_in_executor(
+                        self._executor, self.service.submit, request
+                    )
         except ReproError as exc:
-            return await self._respond_error(
-                writer, 400, str(exc), type(exc).__name__
-            )
+            return await self._respond_exception(writer, exc)
         return await self._respond(writer, 200, response.to_dict())
 
     async def _handle_stream(self, body: bytes, writer) -> bool:
@@ -341,9 +403,7 @@ class MatchServer:
                     ),
                 )
         except ReproError as exc:
-            return await self._respond_error(
-                writer, 400, str(exc), type(exc).__name__
-            )
+            return await self._respond_exception(writer, exc)
         self._streams += 1
         self._responses[200] = self._responses.get(200, 0) + 1
         writer.write(protocol.response_head(200))
@@ -404,9 +464,7 @@ class MatchServer:
                 self._executor, self.service.invalidate, dataset
             )
         except ReproError as exc:
-            return await self._respond_error(
-                writer, 400, str(exc), type(exc).__name__
-            )
+            return await self._respond_exception(writer, exc)
         return await self._respond(
             writer, 200, {"invalidated": int(dropped), "dataset": dataset}
         )

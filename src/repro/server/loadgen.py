@@ -31,10 +31,23 @@ run's machine-calibration seconds — the same reference load as
 ``benchmarks/bench_matching.py`` — so a committed baseline transfers
 across machine speeds).
 
+A third scenario, ``--overload``, is the scheduler's A/B gate: the
+same adversarial open-model mix — a cheap tier of small,
+deadline-carrying queries interleaved with a heavy tier of
+time-limit-bound adversarial queries — is driven against (a) a plain
+FIFO server and (b) one with the cost-aware scheduler
+(:mod:`repro.service.scheduler`) attached.  The report's ``overload``
+block records the cheap-tier p95 under both policies and hard-fails
+if any cheap request starved past its deadline on the scheduled leg,
+if any rejected request surfaced as something other than
+429 + ``Retry-After``, if served outputs drifted between the legs on
+any request both legs accepted, or if the scheduled cheap p95 failed
+to beat FIFO.
+
 Not collected by pytest (no ``test_`` prefix in the CLI); run it::
 
     PYTHONPATH=src python -m repro.server.loadgen --self-host --quick \
-        --output BENCH_serving.json \
+        --overload --output BENCH_serving.json \
         --compare benchmarks/baselines/bench_serving.json
 """
 
@@ -52,10 +65,20 @@ import numpy as np
 
 from repro.datasets import load_dataset, query_workload
 from repro.service.requests import MatchRequest
+from repro.service.service import STATS_SCHEMA_VERSION
 
-__all__ = ["main", "run_load", "compare_against_baseline"]
+__all__ = [
+    "main",
+    "run_load",
+    "run_overload",
+    "check_stats_schema",
+    "compare_against_baseline",
+]
 
-SCHEMA = 1
+#: Report schema.  v2: the ``/stats``-derived fields carry (and are
+#: validated against) the service's ``STATS_SCHEMA_VERSION``, and the
+#: optional ``overload`` block (FIFO-vs-scheduled A/B) was added.
+SCHEMA = 2
 
 #: Serving-profile defaults: small enough that the quick profile is
 #: CI-sized, large enough that percentiles mean something.
@@ -154,8 +177,15 @@ class _Outcome:
             self.cache_hits += bool(payload.get("cache_hit"))
 
 
-def _issue(conn: http.client.HTTPConnection, body: bytes) -> tuple[int, dict | None]:
-    """One POST /match over a persistent connection; reconnects once."""
+def _issue(
+    conn: http.client.HTTPConnection, body: bytes
+) -> tuple[int, dict | None, str | None]:
+    """One POST /match over a persistent connection; reconnects once.
+
+    Returns ``(status, payload, retry_after)`` where ``retry_after`` is
+    the ``Retry-After`` response header (``None`` when absent) — the
+    backpressure contract the overload gate verifies on every 429.
+    """
     for attempt in (0, 1):
         try:
             conn.request(
@@ -168,12 +198,30 @@ def _issue(conn: http.client.HTTPConnection, body: bytes) -> tuple[int, dict | N
                 payload = json.loads(raw)
             except json.JSONDecodeError:
                 payload = None
-            return response.status, payload
+            return response.status, payload, response.getheader("Retry-After")
         except (ConnectionError, http.client.HTTPException, OSError):
             conn.close()
             if attempt:
                 raise
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def check_stats_schema(stats: dict, source: str) -> None:
+    """Refuse to interpret a ``/stats`` payload of the wrong schema.
+
+    The loadgen derives phase attribution and server-side percentiles
+    from ``/stats`` fields; a server speaking a different stats schema
+    would silently mis-report instead of failing.  Raises
+    :class:`RuntimeError` with an actionable message on mismatch.
+    """
+    got = stats.get("schema")
+    if got != STATS_SCHEMA_VERSION:
+        raise RuntimeError(
+            f"{source} reports stats schema {got!r} but this loadgen "
+            f"speaks schema {STATS_SCHEMA_VERSION}; the server and "
+            f"loadgen are from different versions — upgrade whichever "
+            f"side is older and rerun"
+        )
 
 
 def run_load(
@@ -224,7 +272,7 @@ def run_load(
                 else:
                     issued = time.perf_counter()
                 try:
-                    status, payload = _issue(conn, bodies[index % len(bodies)])
+                    status, payload, _ = _issue(conn, bodies[index % len(bodies)])
                 except (ConnectionError, http.client.HTTPException, OSError):
                     outcome.record(0, time.perf_counter() - issued, None)
                     continue
@@ -274,6 +322,345 @@ def _phase_attribution(before: dict, after: dict) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Overload A/B: FIFO vs cost-aware scheduling (the scheduler's gate)
+# ---------------------------------------------------------------------------
+#: Overload-mix profile.  The cheap tier is small queries with a
+#: queueing deadline; the heavy tier is large queries whose enumeration
+#: is time-limit-bound, so each one occupies a worker for exactly
+#: ``OVERLOAD_HEAVY_TIME_LIMIT`` seconds regardless of machine speed —
+#: the backlog dynamics (and therefore the gate) are machine-portable.
+OVERLOAD_CHEAP_SIZE = 4
+OVERLOAD_CHEAP_QUERIES = 8
+OVERLOAD_CHEAP_MATCH_LIMIT = 500
+OVERLOAD_CHEAP_DEADLINE_S = 10.0
+OVERLOAD_HEAVY_SIZE = 32
+OVERLOAD_HEAVY_CANDIDATES = 6
+OVERLOAD_HEAVY_TIME_LIMIT = 0.75
+
+
+def _probe_heavy_queries(dataset: str, data, time_limit: float) -> list:
+    """The size-32 workload queries that are genuinely adversarial.
+
+    A candidate qualifies when its unlimited enumeration still runs at
+    the heavy tier's time limit (``timed_out=True``), so every heavy
+    request is guaranteed to hold a worker for the full budget.  The
+    probe runs the candidates through a throwaway in-process service —
+    a few seconds once, and the heavy pool is then correct on any
+    machine speed rather than tuned to one.
+    """
+    from repro.service.service import MatchService
+
+    candidates = query_workload(
+        dataset, size=OVERLOAD_HEAVY_SIZE, count=OVERLOAD_HEAVY_CANDIDATES,
+        data=data,
+    ).eval
+    heavy = []
+    service = MatchService(catalog=[dataset])
+    try:
+        for query in candidates:
+            response = service.submit(
+                MatchRequest(
+                    dataset, query, match_limit=None, time_limit=time_limit
+                )
+            )
+            if response.ok and response.timed_out:
+                heavy.append(query)
+    finally:
+        service.close()
+    if not heavy:
+        raise RuntimeError(
+            f"no size-{OVERLOAD_HEAVY_SIZE} {dataset} workload query is "
+            f"time-limit-bound at {time_limit}s on this machine; the "
+            f"overload scenario cannot form an adversarial mix"
+        )
+    return heavy
+
+
+def _build_overload_entries(
+    dataset: str, pairs: int, cheap_deadline_s: float, heavy_time_limit: float,
+) -> list[dict]:
+    """The interleaved cheap/heavy request stream, one entry per slot.
+
+    Every slot carries a unique ``tag`` (``cheap-3``, ``heavy-7``), so
+    the two legs' outputs can be compared request-by-request — the
+    drift side of the gate.
+    """
+    data = load_dataset(dataset)
+    cheap = query_workload(
+        dataset, size=OVERLOAD_CHEAP_SIZE, count=OVERLOAD_CHEAP_QUERIES,
+        data=data,
+    ).eval
+    heavy = _probe_heavy_queries(dataset, data, heavy_time_limit)
+    entries = []
+    for i in range(2 * pairs):
+        slot = i // 2
+        if i % 2 == 0:
+            request = MatchRequest(
+                dataset, cheap[slot % len(cheap)],
+                match_limit=OVERLOAD_CHEAP_MATCH_LIMIT,
+                time_limit=DEFAULT_TIME_LIMIT,
+                tenant="cheap", deadline_s=cheap_deadline_s,
+                tag=f"cheap-{slot}",
+            )
+            tier = "cheap"
+        else:
+            request = MatchRequest(
+                dataset, heavy[slot % len(heavy)],
+                match_limit=None, time_limit=heavy_time_limit,
+                tenant="heavy", tag=f"heavy-{slot}",
+            )
+            tier = "heavy"
+        entries.append({
+            "tag": request.tag,
+            "tier": tier,
+            "body": json.dumps(request.to_dict()).encode("utf-8"),
+        })
+    return entries
+
+
+def _run_samples(
+    host: str, port: int, entries: list[dict], *,
+    rate: float, seed: int, clients: int, timeout: float = 120.0,
+) -> list[dict]:
+    """Open-model run returning one sample dict per request slot.
+
+    Same seeded-Poisson schedule and measured-from-scheduled-arrival
+    convention as :func:`run_load` ``--mode open``, but keeping every
+    response individually (status, stable error ``code``,
+    ``Retry-After``, outputs) instead of aggregating — the overload
+    gate needs per-request evidence, not percentiles alone.
+    """
+    samples: list[dict | None] = [None] * len(entries)
+    counter = iter(range(len(entries)))
+    counter_lock = threading.Lock()
+    offsets = np.cumsum(
+        np.random.default_rng(seed).exponential(1.0 / rate, len(entries))
+    )
+    t0 = time.perf_counter()
+
+    def worker() -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            while True:
+                with counter_lock:
+                    index = next(counter, None)
+                if index is None:
+                    return
+                scheduled = t0 + float(offsets[index])
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                entry = entries[index]
+                try:
+                    status, payload, retry_after = _issue(conn, entry["body"])
+                except (ConnectionError, http.client.HTTPException, OSError):
+                    status, payload, retry_after = 0, None, None
+                latency = time.perf_counter() - scheduled
+                payload = payload if isinstance(payload, dict) else {}
+                samples[index] = {
+                    "tag": entry["tag"],
+                    "tier": entry["tier"],
+                    "status": status,
+                    "latency_s": round(latency, 6),
+                    "code": payload.get("code"),
+                    "error": payload.get("error"),
+                    "retry_after": retry_after,
+                    "num_matches": payload.get("num_matches"),
+                    "num_enumerations": payload.get("num_enumerations"),
+                    "timed_out": bool(payload.get("timed_out")),
+                }
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"overload-{i}", daemon=True)
+        for i in range(max(1, clients))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return [s for s in samples if s is not None]
+
+
+def _tier_percentiles(samples: list[dict], tier: str) -> dict:
+    """Latency summary over a tier's *served* (HTTP 200) samples."""
+    latencies = sorted(
+        s["latency_s"] for s in samples
+        if s["tier"] == tier and s["status"] == 200
+    )
+    offered = sum(1 for s in samples if s["tier"] == tier)
+    return {
+        "offered": offered,
+        "served": len(latencies),
+        "latency_p50_s": round(_percentile(latencies, 0.50), 6),
+        "latency_p95_s": round(_percentile(latencies, 0.95), 6),
+    }
+
+
+def _leg_summary(samples: list[dict]) -> dict:
+    statuses: dict[str, int] = {}
+    codes: dict[str, int] = {}
+    for sample in samples:
+        statuses[str(sample["status"])] = statuses.get(str(sample["status"]), 0) + 1
+        if sample["code"]:
+            codes[sample["code"]] = codes.get(sample["code"], 0) + 1
+    return {
+        "statuses": dict(sorted(statuses.items())),
+        "codes": dict(sorted(codes.items())),
+        "cheap": _tier_percentiles(samples, "cheap"),
+        "heavy": _tier_percentiles(samples, "heavy"),
+    }
+
+
+def _served_outputs(samples: list[dict]) -> dict:
+    """``tag -> (matches, #enum)`` for drift-comparable samples.
+
+    Only untruncated-by-time responses are comparable: a timed-out
+    enumeration stops at a nondeterministic point, so its counts are
+    legitimately schedule-dependent and excluded by design.
+    """
+    return {
+        s["tag"]: (s["num_matches"], s["num_enumerations"])
+        for s in samples
+        if s["status"] == 200 and not s["timed_out"]
+    }
+
+
+def run_overload(
+    dataset: str = "citeseer",
+    *,
+    pairs: int = 20,
+    rate: float = 12.0,
+    seed: int = 0,
+    cheap_deadline_s: float = OVERLOAD_CHEAP_DEADLINE_S,
+    heavy_time_limit: float = OVERLOAD_HEAVY_TIME_LIMIT,
+    clients: int = 16,
+) -> dict:
+    """The FIFO-vs-scheduled A/B under an adversarial open-model mix.
+
+    The identical request stream — ``pairs`` cheap (small query, tight
+    ``deadline_s``, tenant ``cheap``) interleaved with ``pairs`` heavy
+    (time-limit-bound enumeration, tenant ``heavy``) — is driven twice
+    against self-hosted servers:
+
+    ``fifo``
+        A plain service, ``max_concurrency=2``: arrival order is
+        service order, so cheap requests queue behind every heavy
+        enumeration in front of them.
+    ``scheduled``
+        The same two execution slots as scheduler workers behind the
+        cost-aware admission queue: deadline-carrying cheap requests
+        sort ahead of deadline-less heavy ones, and the ``heavy``
+        tenant's in-flight budget converts the backlog into explicit
+        429 + ``Retry-After`` rejections.
+
+    Returns the report block, with ``ok=False`` and a ``violations``
+    list if any cheap request starved past its deadline on the
+    scheduled leg, any rejection broke the 429 + ``Retry-After``
+    contract, the scheduled leg never exercised backpressure, outputs
+    drifted between legs on any request both served untruncated, or
+    the scheduled cheap p95 failed to beat FIFO.
+    """
+    from repro.server.http import BackgroundServer
+    from repro.service.scheduler import SchedulerConfig
+    from repro.service.service import MatchService
+
+    entries = _build_overload_entries(
+        dataset, pairs, cheap_deadline_s, heavy_time_limit
+    )
+    legs: dict[str, list[dict]] = {}
+    scheduler_stats = None
+    for leg in ("fifo", "scheduled"):
+        if leg == "fifo":
+            service = MatchService(catalog=[dataset])
+            server_kwargs = {"port": 0, "max_concurrency": 2}
+        else:
+            service = MatchService(
+                catalog=[dataset],
+                scheduler=SchedulerConfig(
+                    workers=2, queue_capacity=64, tenant_max_inflight=6,
+                    retry_degrade=False,
+                ),
+            )
+            server_kwargs = {"port": 0, "max_concurrency": 16}
+        try:
+            with BackgroundServer(service, **server_kwargs) as background:
+                host, port = background.address
+                legs[leg] = _run_samples(
+                    host, port, entries, rate=rate, seed=seed, clients=clients,
+                )
+                if leg == "scheduled":
+                    scheduler_stats = _http_get_json(
+                        host, port, "/stats"
+                    ).get("scheduler")
+        finally:
+            service.close()
+
+    violations: list[str] = []
+    for sample in legs["scheduled"]:
+        if sample["tier"] == "cheap" and sample["code"] == "deadline_expired":
+            violations.append(
+                f"cheap starvation: {sample['tag']} expired in queue "
+                f"after {sample['latency_s']:.3f}s on the scheduled leg"
+            )
+    for leg, samples in legs.items():
+        for sample in samples:
+            rejected = sample["code"] == "rejected"
+            if rejected != (sample["status"] == 429):
+                violations.append(
+                    f"{leg}: {sample['tag']} broke the rejection contract "
+                    f"(status={sample['status']}, code={sample['code']!r})"
+                )
+            elif rejected and not sample["retry_after"]:
+                violations.append(
+                    f"{leg}: {sample['tag']} was 429-rejected without a "
+                    f"Retry-After header"
+                )
+    if "429" not in _leg_summary(legs["scheduled"])["statuses"]:
+        violations.append(
+            "scheduled leg never exercised backpressure (no 429s) — the "
+            "mix is not adversarial enough to gate on"
+        )
+    fifo_outputs = _served_outputs(legs["fifo"])
+    sched_outputs = _served_outputs(legs["scheduled"])
+    compared = sorted(set(fifo_outputs) & set(sched_outputs))
+    drift_mismatches = 0
+    for tag in compared:
+        if fifo_outputs[tag] != sched_outputs[tag]:
+            drift_mismatches += 1
+            violations.append(
+                f"output drift on {tag}: fifo={fifo_outputs[tag]} "
+                f"scheduled={sched_outputs[tag]}"
+            )
+    fifo_p95 = _tier_percentiles(legs["fifo"], "cheap")["latency_p95_s"]
+    sched_p95 = _tier_percentiles(legs["scheduled"], "cheap")["latency_p95_s"]
+    if not sched_p95 or sched_p95 >= fifo_p95:
+        violations.append(
+            f"no cheap p95 win: fifo={fifo_p95:.3f}s vs "
+            f"scheduled={sched_p95:.3f}s"
+        )
+    return {
+        "dataset": dataset,
+        "pairs": pairs,
+        "rate_rps": float(rate),
+        "seed": seed,
+        "cheap_deadline_s": cheap_deadline_s,
+        "heavy_time_limit_s": heavy_time_limit,
+        "fifo": _leg_summary(legs["fifo"]),
+        "scheduled": {
+            **_leg_summary(legs["scheduled"]),
+            "scheduler": scheduler_stats,
+        },
+        "cheap_p95_improvement": round(fifo_p95 / sched_p95, 3)
+        if sched_p95 else None,
+        "drift": {"compared": len(compared), "mismatches": drift_mismatches},
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Baseline comparison (the CI serve-smoke gate)
 # ---------------------------------------------------------------------------
 def compare_against_baseline(report: dict, baseline: dict, tolerance: float) -> bool:
@@ -288,7 +675,7 @@ def compare_against_baseline(report: dict, baseline: dict, tolerance: float) -> 
     always pass.
     """
     ok = True
-    for field in ("requests", "mode"):
+    for field in ("schema", "requests", "mode"):
         if report.get(field) != baseline.get(field):
             print(
                 f"  compare: PROFILE MISMATCH on {field}: "
@@ -376,6 +763,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CI-sized preset: 6 queries, 36 requests, 4 clients",
     )
     parser.add_argument(
+        "--overload", action="store_true",
+        help="also run the FIFO-vs-scheduled overload A/B (self-hosted "
+        "legs) and gate on its violations",
+    )
+    parser.add_argument(
+        "--overload-pairs", type=int, default=20, metavar="N",
+        help="cheap/heavy request pairs in the overload mix",
+    )
+    parser.add_argument(
+        "--overload-rate", type=float, default=12.0, metavar="RPS",
+        help="open-model arrival rate of the overload mix",
+    )
+    parser.add_argument(
         "--output", default="BENCH_serving.json", help="where to write the report"
     )
     parser.add_argument(
@@ -428,6 +828,11 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         stats_before = _http_get_json(host, port, "/stats")
+        try:
+            check_stats_schema(stats_before, f"http://{host}:{port}/stats")
+        except RuntimeError as exc:
+            print(f"loadgen: {exc}", file=sys.stderr)
+            return 1
         measurement = run_load(
             host, port, bodies,
             requests=args.requests, clients=args.clients,
@@ -455,6 +860,30 @@ def main(argv: list[str] | None = None) -> int:
             "plan_store": stats_after.get("plan_store"),
         },
     }
+
+    overload_ok = True
+    if args.overload:
+        print("overload A/B: fifo vs scheduled (self-hosted)", file=sys.stderr)
+        overload = run_overload(
+            args.dataset, pairs=args.overload_pairs, rate=args.overload_rate,
+            seed=args.seed,
+        )
+        report["overload"] = overload
+        overload_ok = overload["ok"]
+        fifo_p95 = overload["fifo"]["cheap"]["latency_p95_s"]
+        sched_p95 = overload["scheduled"]["cheap"]["latency_p95_s"]
+        print(
+            f"overload: cheap p95 fifo={fifo_p95 * 1e3:.1f}ms "
+            f"scheduled={sched_p95 * 1e3:.1f}ms "
+            f"(improvement {overload['cheap_p95_improvement']}x), "
+            f"scheduled statuses {overload['scheduled']['statuses']}, "
+            f"drift {overload['drift']['mismatches']}/"
+            f"{overload['drift']['compared']}",
+            file=sys.stderr,
+        )
+        for violation in overload["violations"]:
+            print(f"overload VIOLATION: {violation}", file=sys.stderr)
+
     out_path = Path(args.output)
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(
@@ -471,6 +900,9 @@ def main(argv: list[str] | None = None) -> int:
     ok = measurement["errors"] == 0
     if not ok:
         print("LOADTEST FAILED: non-2xx or failed responses", file=sys.stderr)
+    if not overload_ok:
+        print("LOADTEST FAILED: overload gate violations", file=sys.stderr)
+        ok = False
     if args.compare is not None:
         baseline = json.loads(Path(args.compare).read_text())
         ok &= compare_against_baseline(report, baseline, args.tolerance)

@@ -66,8 +66,10 @@ REASONS = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Terminating frame of a chunked response body.
@@ -191,12 +193,20 @@ def format_response(
     *,
     content_type: str = "application/json",
     close: bool = False,
+    extra_headers: dict | None = None,
 ) -> bytes:
-    """One complete, sized (``Content-Length``) HTTP/1.1 response."""
+    """One complete, sized (``Content-Length``) HTTP/1.1 response.
+
+    ``extra_headers`` adds response headers verbatim (e.g.
+    ``{"Retry-After": "1"}`` on a 429 rejection).
+    """
     head = _status_line(status)
     head += f"Content-Length: {len(body)}\r\n".encode("latin-1")
     if body:
         head += f"Content-Type: {content_type}\r\n".encode("latin-1")
+    if extra_headers:
+        for name, value in extra_headers.items():
+            head += f"{name}: {value}\r\n".encode("latin-1")
     head += b"Connection: close\r\n" if close else b"Connection: keep-alive\r\n"
     return head + b"\r\n" + body
 

@@ -18,7 +18,15 @@ holds:
   :class:`MatchResponse` payloads, a thread-pool ``submit_many`` over
   the documented-thread-safe matchers, and a :class:`ServiceStats`
   snapshot (requests, hit rate, per-phase totals, latency
-  percentiles).
+  percentiles);
+* an optional **cost-aware admission/scheduling tier**
+  (:class:`CostAwareScheduler`, attached via
+  ``MatchService(..., scheduler=SchedulerConfig(...))``): a bounded
+  priority queue ordered by (priority, deadline, estimated plan cost)
+  with per-tenant budgets, structured 429-style rejection
+  (:class:`ServiceError`), queue-deadline fail-fast, and
+  retry-with-degrade on timeout — scheduling changes *when* work runs,
+  never *what it returns*.
 
 The ``repro-serve`` CLI (:mod:`repro.service.cli`) runs a JSONL request
 file against the catalog and emits JSONL responses.
@@ -44,17 +52,42 @@ True
 
 from repro.service.cache import CacheStats, PlanCache
 from repro.service.catalog import CatalogEntry, DatasetCatalog
-from repro.service.requests import UNSET, MatchRequest, MatchResponse
-from repro.service.service import MatchService, ServiceStats
+from repro.service.requests import (
+    ERROR_HTTP_STATUS,
+    UNSET,
+    MatchRequest,
+    MatchResponse,
+    ServiceError,
+    error_payload,
+    http_status_for,
+)
+from repro.service.scheduler import (
+    CostAwareScheduler,
+    SchedulerConfig,
+    SchedulerStats,
+)
+from repro.service.service import (
+    STATS_SCHEMA_VERSION,
+    MatchService,
+    ServiceStats,
+)
 
 __all__ = [
+    "ERROR_HTTP_STATUS",
+    "STATS_SCHEMA_VERSION",
     "UNSET",
     "CacheStats",
     "CatalogEntry",
+    "CostAwareScheduler",
     "DatasetCatalog",
     "MatchRequest",
     "MatchResponse",
     "MatchService",
     "PlanCache",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "ServiceError",
     "ServiceStats",
+    "error_payload",
+    "http_status_for",
 ]

@@ -20,10 +20,19 @@ Examples
     repro-serve requests.jsonl --datasets citeseer,yeast --workers 8
     repro-serve requests.jsonl --stats > responses_and_stats.jsonl
     repro-serve requests.jsonl --plan-store plans.sqlite --stats-json stats.json
+    repro-serve requests.jsonl --scheduler --default-deadline 10 \
+        --tenant-max-inflight 4
 
 With ``--plan-store`` the plan cache persists to sqlite, so a repeat
 run over the same (or isomorphic) queries starts warm — Phases
 (1)–(2) are served from the store instead of re-planned.
+
+With ``--scheduler`` the batch is admitted through the cost-aware
+priority queue (:mod:`repro.service.scheduler`) instead of FIFO
+fan-out: requests carrying ``tenant`` / ``priority`` / ``deadline_s``
+fields are budgeted, ordered by (deadline, estimated plan cost) and
+fail fast with the stable ``rejected`` / ``deadline_expired`` codes;
+served results stay bit-identical to the direct path.
 """
 
 from __future__ import annotations
@@ -35,9 +44,82 @@ import sys
 from repro.errors import ReproError
 from repro.service.cache import DEFAULT_CACHE_BYTES
 from repro.service.requests import MatchRequest
+from repro.service.scheduler import SchedulerConfig
 from repro.service.service import MatchService
 
-__all__ = ["main"]
+__all__ = ["add_scheduler_arguments", "main", "scheduler_config_from_args"]
+
+
+def add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--scheduler`` flag family (serve + server CLIs)."""
+    group = parser.add_argument_group(
+        "scheduling",
+        "cost-aware admission (repro.service.scheduler); all knobs are "
+        "inert without --scheduler",
+    )
+    group.add_argument(
+        "--scheduler", action="store_true",
+        help="admit requests through the cost-aware priority queue "
+        "(deadline-then-estimated-cost order, per-tenant budgets, 429-style "
+        "backpressure) instead of FIFO fan-out",
+    )
+    group.add_argument(
+        "--sched-workers", type=int, default=SchedulerConfig.workers,
+        metavar="N", help="scheduler worker threads",
+    )
+    group.add_argument(
+        "--queue-capacity", type=int, default=SchedulerConfig.queue_capacity,
+        metavar="N",
+        help="bounded admission-queue depth; past it requests are rejected",
+    )
+    group.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="queueing deadline for requests that carry none "
+        "(default: wait indefinitely)",
+    )
+    group.add_argument(
+        "--tenant-max-inflight", type=int, default=None, metavar="N",
+        help="per-tenant cap on admitted-but-unfinished requests",
+    )
+    group.add_argument(
+        "--tenant-cost-budget", type=float, default=None, metavar="COST",
+        help="per-tenant cap on summed in-flight estimated plan cost",
+    )
+    group.add_argument(
+        "--no-degrade", action="store_true",
+        help="disable the one retry under tighter limits after a timeout",
+    )
+    group.add_argument(
+        "--degrade-match-limit", type=int,
+        default=SchedulerConfig.degrade_match_limit, metavar="N",
+        help="match limit of the degraded retry envelope",
+    )
+    group.add_argument(
+        "--degrade-time-limit", type=float, default=None, metavar="SECONDS",
+        help="time limit of the degraded retry envelope",
+    )
+    group.add_argument(
+        "--degrade-orderer", default=None, metavar="NAME",
+        help="cheaper orderer for the degraded retry (registry name)",
+    )
+
+
+def scheduler_config_from_args(args) -> SchedulerConfig | None:
+    """A :class:`SchedulerConfig` from parsed flags (``None`` without
+    ``--scheduler``)."""
+    if not args.scheduler:
+        return None
+    return SchedulerConfig(
+        workers=args.sched_workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline_s=args.default_deadline,
+        tenant_max_inflight=args.tenant_max_inflight,
+        tenant_cost_budget=args.tenant_cost_budget,
+        retry_degrade=not args.no_degrade,
+        degrade_match_limit=args.degrade_match_limit,
+        degrade_time_limit=args.degrade_time_limit,
+        degrade_orderer=args.degrade_orderer,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -77,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats-json", default=None, metavar="PATH",
         help="also write the final stats snapshot to PATH as JSON",
     )
+    add_scheduler_arguments(parser)
     return parser
 
 
@@ -120,9 +203,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     service = MatchService(
         catalog=datasets, cache_bytes=args.cache_bytes, max_workers=args.workers,
-        plan_store=args.plan_store,
+        plan_store=args.plan_store, scheduler=scheduler_config_from_args(args),
     )
     responses = service.submit_many(requests)
+    service.close()
 
     out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
     try:
@@ -143,12 +227,19 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
     failed = sum(1 for r in responses if not r.ok)
-    print(
+    summary = (
         f"repro-serve: {len(responses)} responses "
         f"({failed} failed), cache hit rate "
-        f"{stats.cache.hit_rate:.0%}, p95 latency {stats.latency_p95_s * 1e3:.1f}ms",
-        file=sys.stderr,
+        f"{stats.cache.hit_rate:.0%}, p95 latency {stats.latency_p95_s * 1e3:.1f}ms"
     )
+    if stats.scheduler is not None:
+        sched = stats.scheduler
+        summary += (
+            f"; scheduler: {sched['completed']} completed, "
+            f"{sched['rejected']} rejected, {sched['expired']} expired, "
+            f"{sched['degraded']} degraded"
+        )
+    print(summary, file=sys.stderr)
     return 1 if failed else 0
 
 

@@ -14,6 +14,15 @@ reads and writes.
 ``UNSET`` distinguishes "use the dataset's configured default" from an
 explicit ``None`` (which, for the limits, means *unlimited*) — a
 distinction a plain ``None`` default could not express.
+
+This module is also the single home of the service's **error
+envelope**: every failure the serving stack reports — an exception
+raised from :meth:`MatchService.submit`, a captured error line in the
+``repro-serve`` JSONL output, a structured JSON error from the HTTP
+tier, or a scheduler rejection — serializes to the same
+``{"error": ..., "code": ...}`` shape, with the stable ``code``
+vocabulary and its HTTP status mapping defined once in
+:data:`ERROR_HTTP_STATUS`.
 """
 
 from __future__ import annotations
@@ -25,7 +34,16 @@ from repro.api.plan import graph_from_payload, graph_payload
 from repro.errors import ReproError
 from repro.graphs.graph import Graph
 
-__all__ = ["UNSET", "MatchRequest", "MatchResponse"]
+__all__ = [
+    "ERROR_HTTP_STATUS",
+    "UNSET",
+    "MatchRequest",
+    "MatchResponse",
+    "ServiceError",
+    "error_code_for",
+    "error_payload",
+    "http_status_for",
+]
 
 
 class _Unset:
@@ -47,6 +65,95 @@ class _Unset:
 
 #: "Use the dataset's configured default" marker for request overrides.
 UNSET = _Unset()
+
+
+# ----------------------------------------------------------------------
+# The one error envelope
+# ----------------------------------------------------------------------
+
+#: Stable error-code vocabulary → HTTP status.  This table is the single
+#: source of truth for status mapping: the HTTP tier, the JSONL CLI and
+#: the scheduler all derive their error surfaces from it.
+ERROR_HTTP_STATUS: dict[str, int] = {
+    "validation": 400,  # malformed / unknown-name requests
+    "rejected": 429,  # admission backpressure (queue or budget full)
+    "deadline_expired": 504,  # expired while queued, never ran
+    "timeout": 504,  # ran, hit its time limit, degrade exhausted
+    "internal": 500,  # anything else
+}
+
+
+def http_status_for(code: str | None) -> int:
+    """HTTP status for an error ``code`` (500 for unknown/missing)."""
+    return ERROR_HTTP_STATUS.get(code or "internal", 500)
+
+
+class ServiceError(ReproError):
+    """A service-level failure carrying a stable machine-readable code.
+
+    The serving stack raises (or captures) these for conditions that are
+    *operational* rather than malformed input: admission rejection,
+    queue-deadline expiry.  ``retry_after_s``, when set, surfaces as the
+    HTTP ``Retry-After`` header on 429 responses.
+
+    Examples
+    --------
+    >>> exc = ServiceError("queue full", code="rejected", retry_after_s=1.0)
+    >>> exc.code, exc.retry_after_s
+    ('rejected', 1.0)
+    >>> http_status_for(exc.code)
+    429
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "internal",
+        retry_after_s: float | None = None,
+    ):
+        super().__init__(message)
+        if code not in ERROR_HTTP_STATUS:
+            raise ValueError(
+                f"unknown error code {code!r}; expected one of "
+                f"{sorted(ERROR_HTTP_STATUS)}"
+            )
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+def error_code_for(error: BaseException) -> str:
+    """The stable code an exception maps to.
+
+    :class:`ServiceError` carries its own; any other
+    :class:`~repro.errors.ReproError` is an invalid request
+    (``validation``); everything else is ``internal``.
+    """
+    if isinstance(error, ServiceError):
+        return error.code
+    if isinstance(error, ReproError):
+        return "validation"
+    return "internal"
+
+
+def error_payload(error: BaseException | str, *, code: str | None = None) -> dict:
+    """The one serializable error envelope.
+
+    Every error surface in the stack (HTTP bodies, JSONL error lines,
+    captured batch failures) is this dict: ``error`` (human message),
+    ``code`` (stable, from :data:`ERROR_HTTP_STATUS`'s vocabulary) and,
+    when the failure is retryable backpressure, ``retry_after_s``.
+
+    >>> error_payload(ServiceError("full", code="rejected", retry_after_s=2))
+    {'error': 'full', 'code': 'rejected', 'retry_after_s': 2.0}
+    """
+    if isinstance(error, BaseException):
+        payload = {"error": str(error), "code": code or error_code_for(error)}
+        retry_after = getattr(error, "retry_after_s", None)
+        if retry_after is not None:
+            payload["retry_after_s"] = float(retry_after)
+        return payload
+    return {"error": str(error), "code": code or "internal"}
 
 
 @dataclass(frozen=True)
@@ -80,6 +187,20 @@ class MatchRequest:
         once; implies ``record_matches``.
     tag:
         Opaque client correlation id, echoed on the response.
+    tenant:
+        Accounting principal for the scheduler's per-tenant concurrency
+        and cost budgets; ``None`` bills the default tenant.  Ignored
+        (cost-free) on the unscheduled direct path.
+    priority:
+        Scheduling priority class; higher runs earlier.  Within one
+        class the queue orders by (deadline, estimated plan cost).
+    deadline_s:
+        Relative queueing deadline in seconds: if the request is still
+        queued this long after admission it fails fast with
+        ``deadline_expired`` instead of occupying a worker.  ``None``
+        means the scheduler's configured default (or no deadline).  The
+        deadline never caps *execution* — a request that started keeps
+        its exact ``time_limit`` envelope, preserving bit-identity.
     """
 
     dataset: str
@@ -91,6 +212,9 @@ class MatchRequest:
     record_matches: bool = False
     stream: bool = False
     tag: str | None = None
+    tenant: str | None = None
+    priority: int = 0
+    deadline_s: float | None = None
 
     def to_dict(self) -> dict:
         """JSON-compatible payload (the JSONL request-file line)."""
@@ -109,6 +233,12 @@ class MatchRequest:
             payload["stream"] = True
         if self.tag is not None:
             payload["tag"] = self.tag
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
+        if self.priority != 0:
+            payload["priority"] = int(self.priority)
+        if self.deadline_s is not None:
+            payload["deadline_s"] = float(self.deadline_s)
         return payload
 
     @classmethod
@@ -117,8 +247,11 @@ class MatchRequest:
 
         Absent limit keys mean :data:`UNSET` (dataset defaults); an
         explicit JSON ``null`` means unlimited, mirroring ``None``.
+        Absent scheduling keys take the cost-free defaults, so payloads
+        written by pre-scheduler clients parse unchanged.
         """
         try:
+            deadline_s = payload.get("deadline_s")
             return cls(
                 dataset=payload["dataset"],
                 query=graph_from_payload(payload["query"]),
@@ -129,8 +262,11 @@ class MatchRequest:
                 record_matches=bool(payload.get("record_matches", False)),
                 stream=bool(payload.get("stream", False)),
                 tag=payload.get("tag"),
+                tenant=payload.get("tenant"),
+                priority=int(payload.get("priority", 0)),
+                deadline_s=None if deadline_s is None else float(deadline_s),
             )
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed match-request payload: {exc}") from exc
 
 
@@ -161,10 +297,17 @@ class MatchResponse:
         the historical, once-paid cost, not new work.
     enum_time / total_time:
         Phase (3) wall clock, and end-to-end request latency.
-    error:
+    error / error_code:
         Failure description when the request could not be served
-        (capture mode of ``submit_many``); every other payload field is
-        zeroed.
+        (capture mode of ``submit_many``, scheduler rejections and
+        expiries); every other payload field is zeroed.  ``error_code``
+        is the stable code from :data:`ERROR_HTTP_STATUS`'s vocabulary.
+    queue_time_s / attempts / degraded:
+        Scheduling surface: seconds spent queued before a worker picked
+        the request up (0.0 on the direct path), how many execution
+        attempts ran, and whether the served result came from the
+        degraded retry envelope (tighter limits / cheaper orderer)
+        after the first attempt timed out.
     """
 
     dataset: str
@@ -182,10 +325,32 @@ class MatchResponse:
     total_time: float
     tag: str | None = None
     error: str | None = None
+    error_code: str | None = None
+    queue_time_s: float = 0.0
+    attempts: int = 1
+    degraded: bool = False
 
     @classmethod
-    def failure(cls, request: MatchRequest, error: str) -> "MatchResponse":
-        """An error response echoing the request's routing fields."""
+    def failure(
+        cls,
+        request: MatchRequest,
+        error: BaseException | str,
+        *,
+        code: str | None = None,
+    ) -> "MatchResponse":
+        """An error response echoing the request's routing fields.
+
+        ``error`` may be the exception itself — preferred, because the
+        stable :attr:`error_code` is then derived through
+        :func:`error_code_for` — or a bare message with an explicit
+        ``code``.
+        """
+        if isinstance(error, BaseException):
+            resolved = code or error_code_for(error)
+            message = str(error)
+        else:
+            resolved = code or "internal"
+            message = str(error)
         return cls(
             dataset=request.dataset,
             fingerprint="",
@@ -201,7 +366,8 @@ class MatchResponse:
             enum_time=0.0,
             total_time=0.0,
             tag=request.tag,
-            error=error,
+            error=message,
+            error_code=resolved,
         )
 
     @property
@@ -225,11 +391,16 @@ class MatchResponse:
             "order_time": float(self.order_time),
             "enum_time": float(self.enum_time),
             "total_time": float(self.total_time),
+            "queue_time_s": float(self.queue_time_s),
+            "attempts": int(self.attempts),
+            "degraded": bool(self.degraded),
         }
         if self.tag is not None:
             payload["tag"] = self.tag
         if self.error is not None:
             payload["error"] = self.error
+        if self.error_code is not None:
+            payload["code"] = self.error_code
         return payload
 
     @classmethod
@@ -254,6 +425,10 @@ class MatchResponse:
                 total_time=float(payload["total_time"]),
                 tag=payload.get("tag"),
                 error=payload.get("error"),
+                error_code=payload.get("code"),
+                queue_time_s=float(payload.get("queue_time_s", 0.0)),
+                attempts=int(payload.get("attempts", 1)),
+                degraded=bool(payload.get("degraded", False)),
             )
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed match-response payload: {exc}") from exc

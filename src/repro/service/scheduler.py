@@ -1,0 +1,629 @@
+"""Cost-aware admission and scheduling for :class:`MatchService`.
+
+The paper's contribution is a cost model for *matching order*; this
+module points the same signal at a second decision: *when and whether*
+a request runs at all.  Between ``MatchService.submit*`` and the worker
+pool sits a bounded priority queue ordered by
+
+    (priority desc, deadline asc, estimated plan cost asc, FIFO seq)
+
+so under an adversarial mix a cheap query never starves behind an
+expensive one — the static left-deep cost estimate
+(:attr:`QueryPlan.estimated_cost`) that Phase (2) already computes is
+exactly the admission-time signal, and estimating it *warms the plan
+cache*, so the worker's later ``submit`` is a cache hit rather than
+duplicated planning work.
+
+The scheduler changes **when** work runs, never **what it returns**:
+an admitted request executes through the unmodified
+:meth:`MatchService.submit` path under its exact limit envelope, so
+match sequences and ``#enum`` stay bit-identical to a direct call
+(pinned by ``tests/service/test_scheduler.py``).  The control surfaces
+are all *around* execution:
+
+* **backpressure** — a full queue or an exhausted per-tenant budget
+  rejects at admission with a structured
+  :class:`~repro.service.requests.ServiceError` (``code="rejected"``,
+  ``retry_after_s`` set), which the HTTP tier maps to
+  ``429 Too Many Requests`` + ``Retry-After``;
+* **deadline enforcement** — a request still queued past its
+  ``deadline_s`` fails fast (``code="deadline_expired"``) without ever
+  occupying a worker; deadlines never cap *execution*;
+* **retry-with-degrade** — when an attempt times out and the deadline
+  still has room, one re-attempt runs under the configured degraded
+  envelope (tighter ``match_limit``/``time_limit``, optionally a
+  cheaper orderer); the served response is marked ``degraded=True``,
+  ``attempts=2`` and is bit-identical to a direct call with the same
+  degraded envelope.
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro.graphs import erdos_renyi, extract_query
+>>> from repro.service import MatchRequest, MatchService, SchedulerConfig
+>>> data = erdos_renyi(120, 360, 3, seed=7)
+>>> service = MatchService(
+...     catalog={"tiny": data}, scheduler=SchedulerConfig(workers=2))
+>>> query = extract_query(data, 4, np.random.default_rng(0))
+>>> future = service.submit_scheduled(
+...     MatchRequest("tiny", query, tenant="acme", deadline_s=30.0))
+>>> scheduled = future.result(timeout=60)
+>>> direct = service.submit(MatchRequest("tiny", query))
+>>> scheduled.ok and scheduled.attempts == 1
+True
+>>> (scheduled.num_matches, scheduled.num_enumerations) == (
+...     direct.num_matches, direct.num_enumerations)
+True
+>>> service.close()
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+
+from repro.service.requests import UNSET, MatchRequest, ServiceError
+
+__all__ = [
+    "AdmissionQueue",
+    "CostAwareScheduler",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "entry_sort_key",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tuning knobs for :class:`CostAwareScheduler`.
+
+    Attributes
+    ----------
+    workers:
+        Scheduler worker threads draining the admission queue.
+    queue_capacity:
+        Bounded queue depth; admission past it is rejected (429).
+    default_deadline_s:
+        Queueing deadline applied when a request carries none;
+        ``None`` means requests without a deadline wait indefinitely.
+    default_tenant:
+        Accounting principal for requests with ``tenant=None``.
+    tenant_max_inflight:
+        Per-tenant cap on admitted-but-unfinished requests; ``None``
+        disables the cap.
+    tenant_cost_budget:
+        Per-tenant cap on the *sum of estimated plan costs* in flight.
+        A tenant with nothing in flight is always allowed one request —
+        a budget smaller than every plan must not deadlock the tenant.
+    retry_degrade:
+        Re-attempt a timed-out request once under the degraded
+        envelope below (only when the deadline still has room).
+    degrade_match_limit / degrade_time_limit:
+        The degraded envelope: the retry's limits are tightened to at
+        most these values (``None`` leaves that limit untouched).
+    degrade_orderer:
+        Optional cheaper orderer registry name for the retry.
+    retry_after_s:
+        Hint surfaced on rejections (HTTP ``Retry-After``).
+    """
+
+    workers: int = 2
+    queue_capacity: int = 64
+    default_deadline_s: float | None = None
+    default_tenant: str = "default"
+    tenant_max_inflight: int | None = None
+    tenant_cost_budget: float | None = None
+    retry_degrade: bool = True
+    degrade_match_limit: int | None = 1000
+    degrade_time_limit: float | None = None
+    degrade_orderer: str | None = None
+    retry_after_s: float = 1.0
+
+
+def entry_sort_key(
+    *,
+    priority: int = 0,
+    deadline: float | None = None,
+    cost: float = 0.0,
+    seq: int = 0,
+) -> tuple:
+    """The admission-queue ordering: deadline-then-cost within a class.
+
+    Higher ``priority`` pops first; within one class the earlier
+    absolute ``deadline`` wins (no deadline sorts last), then the
+    cheaper estimated plan, then FIFO sequence as the total-order
+    tiebreak.
+
+    >>> cheap = entry_sort_key(cost=10.0, seq=1)
+    >>> adversarial = entry_sort_key(cost=1e9, seq=0)
+    >>> cheap < adversarial
+    True
+    >>> urgent = entry_sort_key(deadline=5.0, cost=1e9, seq=2)
+    >>> urgent < cheap
+    True
+    """
+    return (
+        -int(priority),
+        math.inf if deadline is None else float(deadline),
+        float(cost),
+        int(seq),
+    )
+
+
+@dataclass
+class _Entry:
+    """One admitted request waiting in (or draining from) the queue."""
+
+    request: MatchRequest
+    future: Future
+    tenant: str
+    cost: float
+    deadline: float | None  # absolute monotonic seconds, or None
+    enqueued_at: float
+    seq: int
+
+    @property
+    def sort_key(self) -> tuple:
+        return entry_sort_key(
+            priority=self.request.priority,
+            deadline=self.deadline,
+            cost=self.cost,
+            seq=self.seq,
+        )
+
+
+class AdmissionQueue:
+    """A bounded, thread-safe priority queue over :class:`_Entry`.
+
+    ``push`` returns ``False`` instead of blocking when the queue is
+    full — backpressure is the caller's structured rejection, never a
+    hidden wait.  ``pop`` blocks until an entry is available or the
+    queue is closed; after :meth:`close`, remaining entries still drain
+    (pops keep succeeding) and ``pop`` returns ``None`` only once the
+    queue is closed *and* empty.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self._capacity = int(capacity)
+        self._heap: list[tuple[tuple, _Entry]] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of queued entries."""
+        return self._capacity
+
+    def push(self, entry: _Entry) -> bool:
+        """Admit one entry; ``False`` when the queue is full."""
+        with self._not_empty:
+            if self._closed:
+                return False
+            if len(self._heap) >= self._capacity:
+                return False
+            heapq.heappush(self._heap, (entry.sort_key, entry))
+            self._not_empty.notify()
+            return True
+
+    def pop(self, timeout: float | None = None) -> _Entry | None:
+        """The best-ranked entry; ``None`` on closed-and-empty/timeout."""
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            return heapq.heappop(self._heap)[1]
+
+    def close(self) -> None:
+        """Stop admissions and wake blocked poppers."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+
+class _TenantAccount:
+    """Mutable per-tenant accounting (guarded by the scheduler lock)."""
+
+    __slots__ = (
+        "inflight",
+        "cost_inflight",
+        "admitted",
+        "rejected",
+        "expired",
+        "degraded",
+        "completed",
+        "errors",
+    )
+
+    def __init__(self):
+        self.inflight = 0
+        self.cost_inflight = 0.0
+        self.admitted = 0
+        self.rejected = 0
+        self.expired = 0
+        self.degraded = 0
+        self.completed = 0
+        self.errors = 0
+
+    def to_dict(self) -> dict:
+        # Summed float costs leave ~1e-14 residue once everything
+        # drains; clamp so an idle tenant reports exactly 0.0.
+        cost = float(self.cost_inflight)
+        return {
+            "inflight": int(self.inflight),
+            "cost_inflight": 0.0 if abs(cost) < 1e-9 else cost,
+            "admitted": int(self.admitted),
+            "rejected": int(self.rejected),
+            "expired": int(self.expired),
+            "degraded": int(self.degraded),
+            "completed": int(self.completed),
+            "errors": int(self.errors),
+        }
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Point-in-time snapshot of a :class:`CostAwareScheduler`."""
+
+    queue_depth: int
+    queue_capacity: int
+    workers: int
+    admitted: int
+    rejected: int
+    expired: int
+    degraded: int
+    completed: int
+    errors: int
+    tenants: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible payload (merged into ``/stats``)."""
+        return {
+            "queue_depth": int(self.queue_depth),
+            "queue_capacity": int(self.queue_capacity),
+            "workers": int(self.workers),
+            "admitted": int(self.admitted),
+            "rejected": int(self.rejected),
+            "expired": int(self.expired),
+            "degraded": int(self.degraded),
+            "completed": int(self.completed),
+            "errors": int(self.errors),
+            "tenants": {
+                name: dict(stats)
+                for name, stats in sorted(self.tenants.items())
+            },
+        }
+
+
+class CostAwareScheduler:
+    """The admission/scheduling tier between requests and workers.
+
+    Parameters
+    ----------
+    service:
+        The :class:`MatchService` whose ``submit`` actually executes
+        admitted requests (and whose catalog/plan-cache the default
+        cost estimator plans through).
+    config:
+        A :class:`SchedulerConfig`; ``None`` uses the defaults.
+    estimator:
+        Optional ``(MatchRequest) -> float`` override for the admission
+        cost signal — used by tests to schedule against stub services;
+        production uses the plan's static cost estimate.
+    """
+
+    def __init__(self, service, config: SchedulerConfig | None = None, *,
+                 estimator=None):
+        self._service = service
+        self._config = config if config is not None else SchedulerConfig()
+        if self._config.workers <= 0:
+            raise ValueError("scheduler workers must be positive")
+        self._estimator = estimator
+        self._queue = AdmissionQueue(self._config.queue_capacity)
+        self._lock = threading.Lock()
+        self._accounts: dict[str, _TenantAccount] = {}
+        self._seq = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._expired = 0
+        self._degraded = 0
+        self._completed = 0
+        self._errors = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-sched-{i}",
+                daemon=True,
+            )
+            for i in range(self._config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def config(self) -> SchedulerConfig:
+        """The immutable configuration this scheduler runs under."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _estimate(self, request: MatchRequest) -> float:
+        """The admission cost signal for one request.
+
+        Plans the (canonicalized) query through the service's shared
+        cache — so estimation is also cache warming: the worker's later
+        ``submit`` reuses the exact plan — and reads the static
+        left-deep estimate Phase (2) recorded.  Manual/fallback orders
+        carry ``nan``; those estimate as ``0.0`` (schedule eagerly
+        rather than punish the unknown).  Raises registry/validation
+        errors synchronously, so a bad dataset or orderer name never
+        enters the queue.
+        """
+        if self._estimator is not None:
+            return float(self._estimator(request))
+        matcher = self._service.catalog.matcher(request.dataset, request.orderer)
+        _, plan, _ = self._service._plan_canonical(matcher, request.query)
+        try:
+            cost = float(plan.estimated_cost)
+        except (TypeError, ValueError):
+            return 0.0
+        return cost if math.isfinite(cost) else 0.0
+
+    def submit(self, request: MatchRequest) -> Future:
+        """Admit one request; a ``Future`` resolving to its response.
+
+        Raises :class:`ServiceError` (``code="rejected"``) immediately
+        on backpressure — a full queue or an exhausted tenant budget —
+        and plain validation errors for unknown names.  The future
+        resolves to the served :class:`MatchResponse` (with
+        ``queue_time_s``/``attempts``/``degraded`` filled in) or raises
+        the failure: ``deadline_expired`` when the request died in the
+        queue, or whatever execution raised.
+        """
+        if request.stream:
+            raise ServiceError(
+                "streaming requests cannot be scheduled; use "
+                "MatchService.stream() directly",
+                code="validation",
+            )
+        config = self._config
+        cost = self._estimate(request)
+        tenant = request.tenant if request.tenant is not None else config.default_tenant
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else config.default_deadline_s
+        )
+        now = time.monotonic()
+        deadline = None if deadline_s is None else now + float(deadline_s)
+        with self._lock:
+            if self._closed:
+                raise ServiceError("scheduler is shut down", code="rejected")
+            account = self._accounts.setdefault(tenant, _TenantAccount())
+            if (
+                config.tenant_max_inflight is not None
+                and account.inflight >= config.tenant_max_inflight
+            ):
+                account.rejected += 1
+                self._rejected += 1
+                raise ServiceError(
+                    f"tenant {tenant!r} is at its in-flight cap "
+                    f"({config.tenant_max_inflight})",
+                    code="rejected",
+                    retry_after_s=config.retry_after_s,
+                )
+            if (
+                config.tenant_cost_budget is not None
+                and account.inflight > 0
+                and account.cost_inflight + cost > config.tenant_cost_budget
+            ):
+                account.rejected += 1
+                self._rejected += 1
+                raise ServiceError(
+                    f"tenant {tenant!r} is over its in-flight cost budget "
+                    f"({config.tenant_cost_budget:g})",
+                    code="rejected",
+                    retry_after_s=config.retry_after_s,
+                )
+            account.inflight += 1
+            account.cost_inflight += cost
+            account.admitted += 1
+            self._admitted += 1
+            seq = self._seq
+            self._seq += 1
+        entry = _Entry(
+            request=request,
+            future=Future(),
+            tenant=tenant,
+            cost=cost,
+            deadline=deadline,
+            enqueued_at=now,
+            seq=seq,
+        )
+        if not self._queue.push(entry):
+            with self._lock:
+                account.inflight -= 1
+                account.cost_inflight -= cost
+                account.admitted -= 1
+                account.rejected += 1
+                self._admitted -= 1
+                self._rejected += 1
+            raise ServiceError(
+                f"admission queue full ({self._queue.capacity} requests)",
+                code="rejected",
+                retry_after_s=config.retry_after_s,
+            )
+        return entry.future
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _degraded_request(self, request: MatchRequest) -> MatchRequest | None:
+        """The retry envelope for a timed-out request, or ``None``.
+
+        Limits only ever tighten: a configured degrade limit replaces
+        the request's when the request's is unset, unlimited, or
+        looser.  ``None`` means the degraded envelope is identical to
+        the original — nothing to retry with.
+        """
+        config = self._config
+        changes: dict = {}
+        degrade_ml = config.degrade_match_limit
+        if degrade_ml is not None:
+            current = request.match_limit
+            if current is UNSET or current is None or current > degrade_ml:
+                changes["match_limit"] = degrade_ml
+        degrade_tl = config.degrade_time_limit
+        if degrade_tl is not None:
+            current = request.time_limit
+            if current is UNSET or current is None or current > degrade_tl:
+                changes["time_limit"] = degrade_tl
+        if (
+            config.degrade_orderer is not None
+            and config.degrade_orderer != request.orderer
+        ):
+            changes["orderer"] = config.degrade_orderer
+        if not changes:
+            return None
+        return replace(request, **changes)
+
+    def _worker_loop(self) -> None:
+        while True:
+            entry = self._queue.pop()
+            if entry is None:
+                return
+            self._serve(entry)
+
+    def _serve(self, entry: _Entry) -> None:
+        request = entry.request
+        if not entry.future.set_running_or_notify_cancel():
+            self._release(entry)  # cancelled while queued
+            return
+        queue_time = time.monotonic() - entry.enqueued_at
+        outcome = "completed"
+        try:
+            if entry.deadline is not None and time.monotonic() >= entry.deadline:
+                outcome = "expired"
+                raise ServiceError(
+                    f"queueing deadline expired after {queue_time:.3f}s; "
+                    "the request never ran",
+                    code="deadline_expired",
+                )
+            attempts, degraded = 1, False
+            response = self._service.submit(request)
+            if (
+                response.timed_out
+                and self._config.retry_degrade
+                and (entry.deadline is None or time.monotonic() < entry.deadline)
+            ):
+                retry = self._degraded_request(request)
+                if retry is not None:
+                    response = self._service.submit(retry)
+                    attempts, degraded = 2, True
+        except BaseException as exc:
+            if outcome != "expired":
+                outcome = "error"
+            self._release(entry, outcome)
+            entry.future.set_exception(exc)
+            return
+        if degraded:
+            outcome = "degraded"
+        self._release(entry, outcome)
+        entry.future.set_result(
+            replace(
+                response,
+                queue_time_s=queue_time,
+                attempts=attempts,
+                degraded=degraded,
+            )
+        )
+
+    def _release(self, entry: _Entry, outcome: str | None = None) -> None:
+        with self._lock:
+            account = self._accounts.get(entry.tenant)
+            if account is not None:
+                account.inflight -= 1
+                account.cost_inflight -= entry.cost
+                if outcome == "expired":
+                    account.expired += 1
+                elif outcome == "error":
+                    account.errors += 1
+                elif outcome == "degraded":
+                    account.degraded += 1
+                    account.completed += 1
+                elif outcome == "completed":
+                    account.completed += 1
+            if outcome == "expired":
+                self._expired += 1
+            elif outcome == "error":
+                self._errors += 1
+            elif outcome == "degraded":
+                self._degraded += 1
+                self._completed += 1
+            elif outcome == "completed":
+                self._completed += 1
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def stats(self) -> SchedulerStats:
+        """A consistent :class:`SchedulerStats` snapshot."""
+        depth = len(self._queue)
+        with self._lock:
+            return SchedulerStats(
+                queue_depth=depth,
+                queue_capacity=self._queue.capacity,
+                workers=len(self._workers),
+                admitted=self._admitted,
+                rejected=self._rejected,
+                expired=self._expired,
+                degraded=self._degraded,
+                completed=self._completed,
+                errors=self._errors,
+                tenants={
+                    name: account.to_dict()
+                    for name, account in self._accounts.items()
+                },
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admissions; drain queued work, then stop the workers.
+
+        Queued entries still execute (graceful drain) — callers that
+        want to abandon work should cancel their futures first.
+        Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.close()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "CostAwareScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CostAwareScheduler(workers={len(self._workers)}, "
+            f"queued={len(self._queue)})"
+        )

@@ -45,10 +45,17 @@ from repro.service.cache import DEFAULT_CACHE_BYTES, CacheStats, PlanCache
 from repro.service.catalog import DatasetCatalog
 from repro.service.requests import UNSET, MatchRequest, MatchResponse
 
-__all__ = ["LatencyRing", "MatchService", "ServiceStats"]
+__all__ = ["LatencyRing", "MatchService", "ServiceStats", "STATS_SCHEMA_VERSION"]
 
 #: Default latency ring-buffer size for the percentile snapshot.
 LATENCY_WINDOW = 8192
+
+#: Version of the :meth:`ServiceStats.to_dict` / ``/stats`` payload.
+#: Bumped whenever keys change shape or meaning, so consumers (the
+#: load harness's stats-delta attribution, dashboards) can refuse
+#: payloads they don't understand instead of mis-parsing them.
+#: v2: added ``schema`` itself and the ``scheduler`` block.
+STATS_SCHEMA_VERSION = 2
 
 
 class LatencyRing:
@@ -122,7 +129,12 @@ class ServiceStats:
     :data:`LATENCY_WINDOW`).  ``shard_enum_time_s`` attributes
     enumeration seconds per shard, keyed ``"<dataset>/<shard_id>"`` —
     populated only by sharded datasets, and summing to more than the
-    wall clock when the shard pool overlaps shards.
+    wall clock when the shard pool overlaps shards.  ``scheduler``
+    carries the :class:`~repro.service.scheduler.SchedulerStats`
+    payload (queue depth, admissions/rejections/expiries/degrades,
+    per-tenant accounting) when a scheduler is attached; ``schema`` is
+    :data:`STATS_SCHEMA_VERSION`, so payload consumers can refuse
+    shapes they don't understand.
     """
 
     requests: int
@@ -135,6 +147,8 @@ class ServiceStats:
     latency_p95_s: float
     latency_p99_s: float = 0.0
     shard_enum_time_s: dict = field(default_factory=dict)
+    scheduler: dict | None = None
+    schema: int = STATS_SCHEMA_VERSION
 
     @property
     def cache_hit_rate(self) -> float:
@@ -144,6 +158,7 @@ class ServiceStats:
     def to_dict(self) -> dict:
         """JSON-compatible payload (the CLI's ``--stats`` output)."""
         return {
+            "schema": int(self.schema),
             "requests": int(self.requests),
             "errors": int(self.errors),
             "cache": self.cache.to_dict(),
@@ -157,6 +172,7 @@ class ServiceStats:
                 key: float(value)
                 for key, value in sorted(self.shard_enum_time_s.items())
             },
+            "scheduler": dict(self.scheduler) if self.scheduler is not None else None,
         }
 
 
@@ -191,6 +207,14 @@ class MatchService:
         state survives restarts and is shareable across workers.
     latency_window:
         Capacity of the bounded :class:`LatencyRing` percentile window.
+    scheduler:
+        Optional cost-aware admission tier
+        (:mod:`repro.service.scheduler`): ``True`` for the default
+        :class:`~repro.service.scheduler.SchedulerConfig`, or a config
+        instance.  When attached, :meth:`submit_scheduled` admits
+        through the bounded priority queue and :meth:`submit_many`
+        routes through it; :meth:`submit` stays the direct path (and is
+        what the scheduler's workers themselves execute through).
 
     Examples
     --------
@@ -217,6 +241,7 @@ class MatchService:
         max_workers: int | None = None,
         plan_store=None,
         latency_window: int = LATENCY_WINDOW,
+        scheduler=None,
     ):
         if plan_store is not None and not hasattr(plan_store, "get"):
             # A path was passed; the import is local so the core service
@@ -252,6 +277,15 @@ class MatchService:
         self._shard_enum_time: dict[str, float] = {}
         self._latencies = LatencyRing(latency_window)
         self._shard_executor: ThreadPoolExecutor | None = None
+        self.scheduler = None
+        if scheduler is not None and scheduler is not False:
+            # Local import: the scheduler module imports from
+            # repro.service.requests, and keeping the dependency edge
+            # one-way at import time avoids a cycle.
+            from repro.service.scheduler import CostAwareScheduler, SchedulerConfig
+
+            config = SchedulerConfig() if scheduler is True else scheduler
+            self.scheduler = CostAwareScheduler(self, config)
 
     def _shard_pool(self) -> ThreadPoolExecutor:
         """The dedicated pool sharded plans fan per-shard work through.
@@ -410,6 +444,34 @@ class MatchService:
             tag=request.tag,
         )
 
+    def _record_error(self) -> None:
+        """Count one captured request failure (stats only)."""
+        with self._lock:
+            self._errors += 1
+
+    def submit_scheduled(self, request: MatchRequest):
+        """Admit one request through the cost-aware scheduler.
+
+        Returns a :class:`concurrent.futures.Future` resolving to the
+        served :class:`MatchResponse` (with ``queue_time_s`` /
+        ``attempts`` / ``degraded`` filled in) or raising the failure.
+        Admission itself raises synchronously: a structured
+        :class:`~repro.service.requests.ServiceError` with
+        ``code="rejected"`` on backpressure (full queue, exhausted
+        tenant budget), validation errors for unknown names.  Requires
+        a scheduler (``MatchService(..., scheduler=...)``).
+
+        Scheduling changes *when* the request runs, never *what it
+        returns*: execution goes through the unmodified :meth:`submit`
+        path, so results are bit-identical to a direct call.
+        """
+        if self.scheduler is None:
+            raise ReproError(
+                "no scheduler attached; construct the service with "
+                "MatchService(..., scheduler=SchedulerConfig(...))"
+            )
+        return self.scheduler.submit(request)
+
     def submit_many(
         self,
         requests: Iterable[MatchRequest],
@@ -418,12 +480,18 @@ class MatchService:
     ) -> list[MatchResponse]:
         """Serve a batch concurrently; responses in request order.
 
-        Fans out over a thread pool hammering the shared (documented
-        thread-safe) matchers; results are bit-identical to serial
-        :meth:`submit` calls.  ``on_error="capture"`` (default) turns a
-        request's :class:`~repro.errors.ReproError` into an error
-        response so one bad request cannot sink a batch;
-        ``on_error="raise"`` propagates the first failure.
+        Without a scheduler this fans out over a thread pool hammering
+        the shared (documented thread-safe) matchers; with one attached
+        (``MatchService(..., scheduler=...)``) every request is
+        admitted through the cost-aware priority queue instead, so a
+        batch inherits deadline/budget enforcement and cheap-first
+        ordering.  Either way results are bit-identical to serial
+        :meth:`submit` calls on the accepted requests.
+        ``on_error="capture"`` (default) turns a request's
+        :class:`~repro.errors.ReproError` — including scheduler
+        rejections and deadline expiries — into an error response
+        carrying the stable code, so one bad request cannot sink a
+        batch; ``on_error="raise"`` propagates the first failure.
         """
         if on_error not in ("capture", "raise"):
             raise ReproError(
@@ -432,6 +500,8 @@ class MatchService:
         requests = list(requests)
         if not requests:
             return []
+        if self.scheduler is not None:
+            return self._submit_many_scheduled(requests, on_error)
         workers = max_workers if max_workers is not None else self.max_workers
         workers = max(1, min(workers, len(requests)))
 
@@ -441,14 +511,40 @@ class MatchService:
             except ReproError as exc:
                 if on_error == "raise":
                     raise
-                with self._lock:
-                    self._errors += 1
-                return MatchResponse.failure(request, str(exc))
+                self._record_error()
+                return MatchResponse.failure(request, exc)
 
         if workers == 1:
             return [serve(request) for request in requests]
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(serve, requests))
+
+    def _submit_many_scheduled(
+        self, requests: list[MatchRequest], on_error: str
+    ) -> list[MatchResponse]:
+        """Batch path through the scheduler; responses in request order."""
+        slots: list = []
+        for request in requests:
+            try:
+                slots.append(self.scheduler.submit(request))
+            except ReproError as exc:
+                if on_error == "raise":
+                    raise
+                self._record_error()
+                slots.append(MatchResponse.failure(request, exc))
+        responses: list[MatchResponse] = []
+        for request, slot in zip(requests, slots):
+            if isinstance(slot, MatchResponse):
+                responses.append(slot)
+                continue
+            try:
+                responses.append(slot.result())
+            except ReproError as exc:
+                if on_error == "raise":
+                    raise
+                self._record_error()
+                responses.append(MatchResponse.failure(request, exc))
+        return responses
 
     def stream(
         self,
@@ -509,6 +605,9 @@ class MatchService:
             if self.plan_cache is not None
             else CacheStats(0, 0, 0, 0, 0, 0)
         )
+        scheduler_stats = (
+            self.scheduler.stats().to_dict() if self.scheduler is not None else None
+        )
         with self._lock:
             window = sorted(self._latencies.window())
             return ServiceStats(
@@ -522,7 +621,22 @@ class MatchService:
                 latency_p95_s=_percentile(window, 0.95),
                 latency_p99_s=_percentile(window, 0.99),
                 shard_enum_time_s=dict(self._shard_enum_time),
+                scheduler=scheduler_stats,
             )
+
+    def close(self) -> None:
+        """Release background resources (scheduler, shard pool).
+
+        Queued scheduled work drains gracefully first.  Idempotent;
+        the service remains usable for direct :meth:`submit` calls
+        afterwards, but scheduled admission is permanently closed.
+        """
+        if self.scheduler is not None:
+            self.scheduler.shutdown()
+        with self._lock:
+            executor, self._shard_executor = self._shard_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

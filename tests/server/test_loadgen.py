@@ -123,6 +123,75 @@ class TestCompareGate:
             self.report(requests=12), self.report(), 0.25
         )
 
+    def test_schema_mismatch_fails(self, capsys):
+        old_baseline = self.report(schema=1)
+        assert not loadgen.compare_against_baseline(
+            self.report(), old_baseline, 0.25
+        )
+        assert "PROFILE MISMATCH on schema" in capsys.readouterr().out
+
+
+class TestStatsSchemaGuard:
+    def test_matching_schema_passes(self):
+        from repro.service.service import STATS_SCHEMA_VERSION
+
+        loadgen.check_stats_schema({"schema": STATS_SCHEMA_VERSION}, "x")
+
+    def test_mismatched_schema_is_a_clear_error(self):
+        with pytest.raises(RuntimeError, match="stats schema 1.*speaks schema"):
+            loadgen.check_stats_schema({"schema": 1}, "http://h:1/stats")
+
+    def test_missing_schema_is_a_clear_error(self):
+        # A pre-versioning server has no field at all: the guard must
+        # name the problem instead of KeyError-ing downstream.
+        with pytest.raises(RuntimeError, match="stats schema None"):
+            loadgen.check_stats_schema({"requests": 3}, "http://h:1/stats")
+
+
+class TestOverloadHelpers:
+    def sample(self, **overrides):
+        base = {
+            "tag": "cheap-0", "tier": "cheap", "status": 200,
+            "latency_s": 0.1, "code": None, "error": None,
+            "retry_after": None, "num_matches": 5, "num_enumerations": 9,
+            "timed_out": False,
+        }
+        base.update(overrides)
+        return base
+
+    def test_tier_percentiles_count_only_served(self):
+        samples = [
+            self.sample(latency_s=0.1),
+            self.sample(tag="cheap-1", latency_s=0.2),
+            self.sample(tag="cheap-2", latency_s=0.4),
+            self.sample(tag="cheap-3", status=429, code="rejected"),
+            self.sample(tag="heavy-0", tier="heavy", latency_s=9.0),
+        ]
+        cheap = loadgen._tier_percentiles(samples, "cheap")
+        assert cheap["offered"] == 4 and cheap["served"] == 3
+        assert cheap["latency_p50_s"] == 0.2
+        assert cheap["latency_p95_s"] == 0.4
+
+    def test_served_outputs_exclude_timeouts_and_failures(self):
+        samples = [
+            self.sample(tag="a"),
+            self.sample(tag="b", timed_out=True),
+            self.sample(tag="c", status=429, code="rejected"),
+        ]
+        outputs = loadgen._served_outputs(samples)
+        assert set(outputs) == {"a"}
+        assert outputs["a"] == (5, 9)
+
+    def test_leg_summary_aggregates_statuses_and_codes(self):
+        samples = [
+            self.sample(),
+            self.sample(tag="cheap-1", status=429, code="rejected"),
+            self.sample(tag="cheap-2", status=504, code="deadline_expired"),
+        ]
+        summary = loadgen._leg_summary(samples)
+        assert summary["statuses"] == {"200": 1, "429": 1, "504": 1}
+        assert summary["codes"] == {"deadline_expired": 1, "rejected": 1}
+
 
 class TestCli:
     def test_self_host_quick_run_and_self_compare(self, tmp_path, monkeypatch):
