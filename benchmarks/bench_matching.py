@@ -46,6 +46,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import Matcher
+from repro.bench.calibrate import calibrate
 from repro.datasets import load_dataset, query_workload
 from repro.graphs.canonical import canonical_form, relabel_graph
 from repro.matching import Enumerator
@@ -78,32 +79,10 @@ SHARD_COUNTS = (1, 2, 4)
 SHARDED_OVERHEAD_TOLERANCE = 0.15
 
 
-def _calibrate() -> float:
-    """Machine-speed proxy: best-of-3 seconds for a fixed reference load.
-
-    The perf gate normalizes enumeration wall-clock by this number, so a
-    baseline recorded on one machine transfers to runners of a different
-    speed; within one machine it is stable to a few percent.  The load
-    mixes vectorized numpy calls with an interpreted scalar loop in
-    roughly the proportions of the DFS hot path.
-    """
-    rng = np.random.default_rng(0)
-    a = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
-    b = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
-    walk = a.tolist()
-    best = None
-    for _ in range(3):
-        start = time.perf_counter()
-        sink = 0
-        for _ in range(150):
-            idx = b.searchsorted(a)
-            np.minimum(idx, b.size - 1, out=idx)
-            sink += int((b[idx] == a).sum())
-            for v in walk:
-                sink ^= v
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    return best
+# The perf gate normalizes enumeration wall-clock by the shared
+# reference load, so a baseline recorded on one machine transfers to
+# runners of a different speed; same scale as the serving baselines.
+_calibrate = calibrate
 
 
 def _backward_positions(query, order: list[int]) -> list[list[int]]:

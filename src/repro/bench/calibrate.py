@@ -1,0 +1,46 @@
+"""Machine-speed calibration shared by the matching and serving gates.
+
+Both perf gates — ``benchmarks/bench_matching.py`` and the loadgen's
+baseline comparison (:mod:`repro.server.loadgen`) — normalize wall-clock
+measurements by the same fixed reference load, so a baseline recorded on
+one machine transfers to runners of a different speed and the matching
+and serving numbers stay on one scale.  This module is the single
+definition; it used to be duplicated in both callers (kept in sync by an
+AST-comparison test) before ``repro.bench`` grew into an importable home
+for it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["calibrate"]
+
+
+def calibrate() -> float:
+    """Machine-speed proxy: best-of-3 seconds for a fixed reference load.
+
+    The load mixes vectorized numpy calls with an interpreted scalar
+    loop in roughly the proportions of the DFS hot path, so it tracks
+    how fast this machine runs *enumeration*, not just numpy.  Within
+    one machine the number is stable to a few percent.
+    """
+    rng = np.random.default_rng(0)
+    a = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
+    b = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
+    walk = a.tolist()
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        sink = 0
+        for _ in range(150):
+            idx = b.searchsorted(a)
+            np.minimum(idx, b.size - 1, out=idx)
+            sink += int((b[idx] == a).sum())
+            for v in walk:
+                sink ^= v
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best

@@ -1,0 +1,140 @@
+"""Observed-cost feedback: closing the loop from Phase (3) to admission.
+
+The scheduler orders its queue by :attr:`QueryPlan.estimated_cost` —
+the *static* left-deep estimate Phase (2) computes from candidate
+counts.  Workers, meanwhile, measure the *actual* enumeration seconds
+of every request they serve.  :class:`CostCalibrator` folds the second
+signal back into the first: an EWMA of observed seconds-per-cost-unit
+per ``(dataset, query-size)`` bucket, turned into a **relative
+correction** (bucket rate over the global rate) that multiplies the
+static estimate at admission.
+
+The correction is a dimensionless ratio on purpose: buckets that have
+never been observed keep correction 1.0 and order by the raw static
+estimate, so corrected and uncorrected costs stay mutually comparable
+in one queue — a freshly seen query class is neither starved nor
+favoured by the units of the learned signal.  This is the hand-tuned
+precursor of the learned cost-estimation direction PAPERS.md points at
+(NeuSO): same feedback loop, a lookup table where NeuSO puts a GNN.
+
+Calibration quality is observable: each bucket tracks an EWMA of the
+absolute relative error between the seconds its (pre-update) rate
+predicted and the seconds observed, surfaced in the ``/stats``
+scheduler block as ``calibration``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["CostCalibrator", "DEFAULT_ALPHA"]
+
+#: EWMA smoothing factor: weight of the newest observation.
+DEFAULT_ALPHA = 0.2
+
+
+class _Bucket:
+    """EWMA state for one ``(dataset, query-size)`` class."""
+
+    __slots__ = ("samples", "rate", "abs_rel_err", "observed_s", "estimated")
+
+    def __init__(self):
+        self.samples = 0
+        self.rate = 0.0  # EWMA seconds per cost unit
+        self.abs_rel_err = 0.0  # EWMA |predicted - observed| / observed
+        self.observed_s = 0.0  # summed observed seconds
+        self.estimated = 0.0  # summed static cost estimates
+
+    def to_dict(self, global_rate: float) -> dict:
+        correction = self.rate / global_rate if global_rate > 0.0 else 1.0
+        return {
+            "samples": int(self.samples),
+            "seconds_per_cost": float(self.rate),
+            "correction": float(correction),
+            "abs_rel_err": float(self.abs_rel_err),
+            "observed_s": float(self.observed_s),
+            "estimated_cost": float(self.estimated),
+        }
+
+
+class CostCalibrator:
+    """Per-bucket EWMA correction over the static plan-cost estimate.
+
+    Thread-safe; scheduler workers :meth:`observe` concurrently while
+    admissions read :meth:`correction`.
+
+    Examples
+    --------
+    >>> calibrator = CostCalibrator(alpha=0.5)
+    >>> calibrator.correction("ds", 8)      # never observed: neutral
+    1.0
+    >>> calibrator.observe("ds", 8, estimated=100.0, observed_s=0.2)
+    >>> calibrator.observe("ds", 16, estimated=100.0, observed_s=0.6)
+    >>> calibrator.correction("ds", 16) > calibrator.correction("ds", 8)
+    True
+    """
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = float(alpha)
+        self._lock = threading.Lock()
+        self._buckets: dict[tuple[str, int], _Bucket] = {}
+        self._global_rate = 0.0
+        self._samples = 0
+
+    def observe(
+        self, dataset: str, query_size: int, *, estimated: float, observed_s: float
+    ) -> None:
+        """Fold one served request's actual enumeration time in.
+
+        Observations with a non-positive static estimate are skipped —
+        a rate needs both sides of the ratio (``nan``-cost fallback
+        orders estimate as ``0.0``; there is nothing to calibrate).
+        """
+        if estimated <= 0.0 or observed_s < 0.0:
+            return
+        rate = float(observed_s) / float(estimated)
+        alpha = self._alpha
+        with self._lock:
+            bucket = self._buckets.setdefault(
+                (str(dataset), int(query_size)), _Bucket()
+            )
+            if bucket.samples:
+                predicted_s = bucket.rate * float(estimated)
+                if observed_s > 0.0:
+                    err = abs(predicted_s - observed_s) / observed_s
+                    bucket.abs_rel_err += alpha * (err - bucket.abs_rel_err)
+                bucket.rate += alpha * (rate - bucket.rate)
+            else:
+                bucket.rate = rate
+            bucket.samples += 1
+            bucket.observed_s += float(observed_s)
+            bucket.estimated += float(estimated)
+            if self._samples:
+                self._global_rate += alpha * (rate - self._global_rate)
+            else:
+                self._global_rate = rate
+            self._samples += 1
+
+    def correction(self, dataset: str, query_size: int) -> float:
+        """The multiplier for this bucket's static estimate (1.0 when
+        the bucket — or the calibrator as a whole — is unobserved)."""
+        with self._lock:
+            bucket = self._buckets.get((str(dataset), int(query_size)))
+            if bucket is None or not bucket.samples or self._global_rate <= 0.0:
+                return 1.0
+            return bucket.rate / self._global_rate
+
+    def stats(self) -> dict:
+        """Estimate-vs-observed calibration for the ``/stats`` block."""
+        with self._lock:
+            return {
+                "alpha": self._alpha,
+                "samples": int(self._samples),
+                "seconds_per_cost": float(self._global_rate),
+                "buckets": {
+                    f"{dataset}/{size}": bucket.to_dict(self._global_rate)
+                    for (dataset, size), bucket in sorted(self._buckets.items())
+                },
+            }

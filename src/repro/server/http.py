@@ -29,7 +29,9 @@ Routes
     plus plan-store counters (when persistence is configured) and the
     HTTP tier's own counters.
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "datasets": [...]}``.
+    Executor-aware liveness: ``{"status", "datasets", "executor"}``
+    with scheduler queue depth and process-pool worker liveness;
+    answers 503 when the process pool is unrecoverably down.
 ``POST /admin/invalidate``
     Drop cached plans — ``{"dataset": "name"}`` for one scope, empty
     body for everything — in both cache tiers.
@@ -254,7 +256,9 @@ class MatchServer:
         route = (head.method, head.path)
         try:
             if route == ("GET", "/healthz"):
-                return await self._respond(writer, 200, self._healthz())
+                payload = self._healthz()
+                status = 200 if payload.get("status") == "ok" else 503
+                return await self._respond(writer, status, payload)
             if route == ("GET", "/stats"):
                 return await self._respond(writer, 200, self._stats_payload())
             if route == ("POST", "/match"):
@@ -326,7 +330,17 @@ class MatchServer:
     # Routes
     # ------------------------------------------------------------------
     def _healthz(self) -> dict:
-        return {"status": "ok", "datasets": sorted(self.service.catalog.names())}
+        """Executor-aware liveness payload (503 when ``status != ok``).
+
+        Delegates to :meth:`MatchService.health`: worker liveness,
+        queue depth and the process pool's state ride along, so a load
+        balancer (or the load harness's pre-run poll) can distinguish
+        "serving" from "process pool unrecoverably down" without
+        issuing a real match request.
+        """
+        payload = self.service.health()
+        payload["datasets"] = sorted(payload["datasets"])
+        return payload
 
     def _stats_payload(self) -> dict:
         payload = self.service.stats().to_dict()

@@ -44,6 +44,18 @@ if any rejected request surfaced as something other than
 any request both legs accepted, or if the scheduled cheap p95 failed
 to beat FIFO.
 
+Two further scenarios: ``--rate-sweep LO:HI:STEPS`` replays the
+workload open-model at a ladder of arrival rates and records the
+latency-vs-rate curve (the knee past service capacity), and
+``--executor-ab`` drives the identical deterministic mix against the
+scheduler's thread and :mod:`repro.procpool` process execution tiers —
+hard-gated on zero output drift between the legs (the procpool
+bit-identity contract over the wire) and, on multi-core machines, on a
+core-aware process-speedup floor.  Every run first polls ``/healthz``
+until the server (including a process pool still spawning) reports
+healthy, so measurements never include boot noise and a dead executor
+tier fails with one actionable error.
+
 Not collected by pytest (no ``test_`` prefix in the CLI); run it::
 
     PYTHONPATH=src python -m repro.server.loadgen --self-host --quick \
@@ -56,6 +68,7 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import os
 import sys
 import threading
 import time
@@ -63,6 +76,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.calibrate import calibrate
 from repro.datasets import load_dataset, query_workload
 from repro.service.requests import MatchRequest
 from repro.service.service import STATS_SCHEMA_VERSION
@@ -71,6 +85,8 @@ __all__ = [
     "main",
     "run_load",
     "run_overload",
+    "run_executor_ab",
+    "run_rate_sweep",
     "check_stats_schema",
     "compare_against_baseline",
 ]
@@ -78,7 +94,10 @@ __all__ = [
 #: Report schema.  v2: the ``/stats``-derived fields carry (and are
 #: validated against) the service's ``STATS_SCHEMA_VERSION``, and the
 #: optional ``overload`` block (FIFO-vs-scheduled A/B) was added.
-SCHEMA = 2
+#: v3: the optional ``rate_sweep`` block (open-model latency-vs-rate
+#: curve) and the optional ``executor_ab`` block (thread-vs-process
+#: scheduler execution tier, gated on zero output drift).
+SCHEMA = 3
 
 #: Serving-profile defaults: small enough that the quick profile is
 #: CI-sized, large enough that percentiles mean something.
@@ -86,33 +105,11 @@ DEFAULT_MATCH_LIMIT = 10_000
 DEFAULT_TIME_LIMIT = 30.0
 
 
-def _calibrate() -> float:
-    """Machine-speed proxy: best-of-3 seconds for a fixed reference load.
-
-    Deliberately the *same* reference load as
-    ``benchmarks/bench_matching.py`` (kept in sync by
-    ``tests/server/test_loadgen.py``), so serving and matching baselines
-    normalize on the same scale.  Duplicated rather than imported:
-    ``benchmarks/`` is not an installable package, the library cannot
-    depend on it.
-    """
-    rng = np.random.default_rng(0)
-    a = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
-    b = np.sort(rng.choice(100_000, size=4_000, replace=False)).astype(np.int64)
-    walk = a.tolist()
-    best = None
-    for _ in range(3):
-        start = time.perf_counter()
-        sink = 0
-        for _ in range(150):
-            idx = b.searchsorted(a)
-            np.minimum(idx, b.size - 1, out=idx)
-            sink += int((b[idx] == a).sum())
-            for v in walk:
-                sink ^= v
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    return best
+# Deliberately the *same* reference load as
+# ``benchmarks/bench_matching.py`` — both import it from
+# ``repro.bench.calibrate`` — so serving and matching baselines
+# normalize on one machine-speed scale.
+_calibrate = calibrate
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -151,6 +148,30 @@ def _http_get_json(host: str, port: int, path: str, timeout: float = 30.0):
         return json.loads(payload)
     finally:
         conn.close()
+
+
+def _await_healthy(host: str, port: int, *, timeout: float = 30.0) -> dict:
+    """Poll ``GET /healthz`` until the server reports ``status: ok``.
+
+    A scheduler with ``executor="process"`` is only ready once its
+    worker pool has spawned; a pool that failed to boot answers 503.
+    Polling here (instead of firing traffic at a half-up server) makes
+    the measurements clean and turns a broken executor tier into one
+    actionable error instead of a run full of refused connections.
+    """
+    deadline = time.perf_counter() + timeout
+    last: Exception | None = None
+    while time.perf_counter() < deadline:
+        try:
+            return _http_get_json(host, port, "/healthz", timeout=5.0)
+        except (OSError, RuntimeError, http.client.HTTPException,
+                json.JSONDecodeError) as exc:
+            last = exc
+            time.sleep(0.1)
+    raise RuntimeError(
+        f"server at http://{host}:{port} did not become healthy within "
+        f"{timeout:.0f}s: {last}"
+    )
 
 
 class _Outcome:
@@ -587,6 +608,7 @@ def run_overload(
         try:
             with BackgroundServer(service, **server_kwargs) as background:
                 host, port = background.address
+                _await_healthy(host, port)
                 legs[leg] = _run_samples(
                     host, port, entries, rate=rate, seed=seed, clients=clients,
                 )
@@ -655,6 +677,299 @@ def run_overload(
         "cheap_p95_improvement": round(fifo_p95 / sched_p95, 3)
         if sched_p95 else None,
         "drift": {"compared": len(compared), "mismatches": drift_mismatches},
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rate sweep: the open-model latency-vs-rate curve
+# ---------------------------------------------------------------------------
+def _parse_rate_sweep(text: str) -> list[float]:
+    """``"lo:hi:steps"`` into the list of arrival rates to sweep."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"--rate-sweep wants LO:HI:STEPS (e.g. 5:40:4), got {text!r}"
+        )
+    lo, hi, steps = float(parts[0]), float(parts[1]), int(parts[2])
+    if lo <= 0 or hi < lo or steps < 1:
+        raise ValueError(
+            f"--rate-sweep wants 0 < LO <= HI and STEPS >= 1, got {text!r}"
+        )
+    if steps == 1:
+        return [lo]
+    return [round(float(r), 3) for r in np.linspace(lo, hi, steps)]
+
+
+def run_rate_sweep(
+    host: str, port: int, bodies: list[bytes], *,
+    rates: list[float], requests: int, clients: int, seed: int,
+) -> dict:
+    """One open-model leg per arrival rate; the latency-vs-rate curve.
+
+    Each leg replays the same deterministic workload cycle under a
+    seeded Poisson schedule at its rate, so the curve isolates *load*:
+    as the offered rate passes the service capacity, queueing delay —
+    measured from the scheduled arrival, the honest open-model
+    convention — shows up as the latency knee.
+    """
+    legs = []
+    for rate in rates:
+        leg = run_load(
+            host, port, bodies,
+            requests=requests, clients=clients,
+            mode="open", rate=rate, seed=seed,
+        )
+        legs.append({
+            "rate_rps": rate,
+            "throughput_rps": leg["throughput_rps"],
+            "latency_p50_s": leg["latency_p50_s"],
+            "latency_p95_s": leg["latency_p95_s"],
+            "latency_p99_s": leg["latency_p99_s"],
+            "errors": leg["errors"],
+        })
+    return {"requests_per_leg": requests, "legs": legs}
+
+
+# ---------------------------------------------------------------------------
+# Executor A/B: thread vs process execution tier (the procpool gate)
+# ---------------------------------------------------------------------------
+#: Armed speedup thresholds by core count.  Phase (3) is GIL-serialized
+#: on the thread executor, so process workers win in proportion to the
+#: cores actually available; on a single-core box the process tier can
+#: only add IPC overhead and the wall-clock side of the gate disarms
+#: (the zero-drift side is unconditional).
+AB_SPEEDUP_BY_CORES = ((4, 2.0), (2, 1.2))
+
+
+def _required_ab_speedup(cpus: int) -> float:
+    for cores, speedup in AB_SPEEDUP_BY_CORES:
+        if cpus >= cores:
+            return speedup
+    return 0.0
+
+
+def _run_closed_samples(
+    host: str, port: int, entries: list[dict], *,
+    requests: int, clients: int, timeout: float = 120.0,
+) -> tuple[list[dict], float]:
+    """Closed-loop run keeping one sample per request, plus the wall.
+
+    Request ``i`` carries ``entries[i % len]`` — the same deterministic
+    cycle as :func:`run_load` — but per-request outputs are kept so the
+    executor A/B can compare leg outputs tag-by-tag.
+    """
+    samples: list[dict | None] = [None] * requests
+    counter = iter(range(requests))
+    counter_lock = threading.Lock()
+    t0 = time.perf_counter()
+
+    def worker() -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            while True:
+                with counter_lock:
+                    index = next(counter, None)
+                if index is None:
+                    return
+                entry = entries[index % len(entries)]
+                issued = time.perf_counter()
+                try:
+                    status, payload, _ = _issue(conn, entry["body"])
+                except (ConnectionError, http.client.HTTPException, OSError):
+                    status, payload = 0, None
+                payload = payload if isinstance(payload, dict) else {}
+                samples[index] = {
+                    "tag": entry["tag"],
+                    "status": status,
+                    "latency_s": round(time.perf_counter() - issued, 6),
+                    "code": payload.get("code"),
+                    "num_matches": payload.get("num_matches"),
+                    "num_enumerations": payload.get("num_enumerations"),
+                    "timed_out": bool(payload.get("timed_out")),
+                }
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"ab-{i}", daemon=True)
+        for i in range(max(1, clients))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    return [s for s in samples if s is not None], wall
+
+
+def run_executor_ab(
+    dataset: str = "citeseer",
+    *,
+    query_size: int = 8,
+    queries: int = 6,
+    requests: int = 48,
+    clients: int = 8,
+    workers: int = 4,
+    match_limit: int = DEFAULT_MATCH_LIMIT,
+) -> dict:
+    """Thread-vs-process scheduler execution tier over identical traffic.
+
+    The same deterministic CPU-bound workload cycle is driven closed-loop
+    against two self-hosted servers, both behind the cost-aware scheduler
+    with ``workers`` execution slots — one with the in-process thread
+    tier (Phase (3) GIL-serialized), one dispatching to ``workers``
+    :mod:`repro.procpool` worker processes.
+
+    Two gates:
+
+    * **Zero output drift (unconditional).**  Every request is
+      match-limit-truncated, never time-limit-truncated, so its
+      ``(num_matches, #enum)`` is deterministic; any disagreement —
+      across legs on the same tag, or between same-tag requests within
+      one leg — is a violation.  A ``timed_out`` response is itself a
+      violation (time truncation would make the comparison vacuous).
+    * **Speedup (core-aware).**  thread-wall / process-wall must reach
+      the :data:`AB_SPEEDUP_BY_CORES` threshold for this machine's core
+      count; on a single core the threshold is 0 and the ratio is
+      recorded without gating.
+
+    Each leg gets its own shared plan store (the process tier's designed
+    deployment shape: workers re-attach Phase (1)–(2) plans instead of
+    re-planning) and an untimed warmup round sized so every worker has
+    seen every query — the measured walls compare steady-state
+    execution, not spawn and cold-planning noise.
+    """
+    import tempfile
+
+    from repro.server.http import BackgroundServer
+    from repro.service.scheduler import SchedulerConfig
+    from repro.service.service import MatchService
+
+    data = load_dataset(dataset)
+    workload = query_workload(
+        dataset, size=query_size, count=queries, data=data
+    ).eval
+    entries = []
+    for i, query in enumerate(workload):
+        request = MatchRequest(
+            dataset, query,
+            match_limit=match_limit, time_limit=DEFAULT_TIME_LIMIT,
+            tag=f"q{i}",
+        )
+        entries.append({
+            "tag": request.tag,
+            "body": json.dumps(request.to_dict()).encode("utf-8"),
+        })
+    warmup_requests = len(entries) * workers
+
+    store_dir = tempfile.mkdtemp(prefix="repro-ab-")
+    legs: dict[str, list[dict]] = {}
+    walls: dict[str, float] = {}
+    for executor in ("thread", "process"):
+        service = MatchService(
+            catalog=[dataset],
+            plan_store=os.path.join(store_dir, f"{executor}.sqlite"),
+            scheduler=SchedulerConfig(
+                workers=workers, executor=executor, process_workers=workers,
+                queue_capacity=max(64, requests), retry_degrade=False,
+            ),
+        )
+        try:
+            with BackgroundServer(
+                service, port=0, max_concurrency=2 * clients
+            ) as background:
+                host, port = background.address
+                _await_healthy(host, port, timeout=60.0)
+                _run_closed_samples(
+                    host, port, entries,
+                    requests=warmup_requests, clients=workers,
+                )
+                legs[executor], walls[executor] = _run_closed_samples(
+                    host, port, entries, requests=requests, clients=clients,
+                )
+        finally:
+            service.close()
+
+    violations: list[str] = []
+    outputs: dict[str, dict[str, tuple]] = {}
+    for executor, samples in legs.items():
+        per_tag: dict[str, tuple] = {}
+        for sample in samples:
+            if sample["status"] != 200 or sample["code"]:
+                violations.append(
+                    f"{executor}: {sample['tag']} failed "
+                    f"(status={sample['status']}, code={sample['code']!r})"
+                )
+                continue
+            if sample["timed_out"]:
+                violations.append(
+                    f"{executor}: {sample['tag']} was time-limit-truncated; "
+                    f"the A/B mix must be match-limit-bound to compare"
+                )
+                continue
+            observed = (sample["num_matches"], sample["num_enumerations"])
+            if per_tag.setdefault(sample["tag"], observed) != observed:
+                violations.append(
+                    f"{executor}: {sample['tag']} nondeterministic within "
+                    f"the leg: {per_tag[sample['tag']]} vs {observed}"
+                )
+        outputs[executor] = per_tag
+    for tag in sorted(set(outputs["thread"]) & set(outputs["process"])):
+        if outputs["thread"][tag] != outputs["process"][tag]:
+            violations.append(
+                f"output drift on {tag}: thread={outputs['thread'][tag]} "
+                f"process={outputs['process'][tag]}"
+            )
+
+    cpus = os.cpu_count() or 1
+    required = _required_ab_speedup(cpus)
+    speedup = (
+        round(walls["thread"] / walls["process"], 3)
+        if walls["process"] else None
+    )
+    if required and (speedup is None or speedup < required):
+        violations.append(
+            f"process speedup {speedup} below the {required}x floor "
+            f"for {cpus} cores"
+        )
+
+    def leg_block(executor: str) -> dict:
+        latencies = sorted(
+            s["latency_s"] for s in legs[executor] if s["status"] == 200
+        )
+        return {
+            "wall_s": round(walls[executor], 6),
+            "throughput_rps": round(
+                len(latencies) / max(walls[executor], 1e-9), 2
+            ),
+            "latency_p50_s": round(_percentile(latencies, 0.50), 6),
+            "latency_p95_s": round(_percentile(latencies, 0.95), 6),
+        }
+
+    return {
+        "dataset": dataset,
+        "query_size": query_size,
+        "queries": queries,
+        "requests": requests,
+        "clients": clients,
+        "workers": workers,
+        "match_limit": match_limit,
+        "cpus": cpus,
+        "warmup_requests": warmup_requests,
+        "required_speedup": required,
+        "speedup": speedup,
+        "thread": leg_block("thread"),
+        "process": leg_block("process"),
+        "drift": {
+            "compared": len(set(outputs["thread"]) & set(outputs["process"])),
+            "mismatches": sum(
+                1
+                for tag in set(outputs["thread"]) & set(outputs["process"])
+                if outputs["thread"][tag] != outputs["process"][tag]
+            ),
+        },
         "violations": violations,
         "ok": not violations,
     }
@@ -776,6 +1091,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="open-model arrival rate of the overload mix",
     )
     parser.add_argument(
+        "--rate-sweep", default=None, metavar="LO:HI:STEPS",
+        help="also sweep open-model arrival rates (e.g. 5:40:4) and "
+        "record the latency-vs-rate curve in the report",
+    )
+    parser.add_argument(
+        "--executor-ab", action="store_true",
+        help="also run the thread-vs-process scheduler execution tier "
+        "A/B (self-hosted legs) and gate on zero output drift plus a "
+        "core-aware speedup floor",
+    )
+    parser.add_argument(
+        "--scheduler-executor", choices=("thread", "process"), default=None,
+        help="attach the cost-aware scheduler to the self-hosted server "
+        "and run the main measurement through this execution tier",
+    )
+    parser.add_argument(
         "--output", default="BENCH_serving.json", help="where to write the report"
     )
     parser.add_argument(
@@ -807,6 +1138,13 @@ def main(argv: list[str] | None = None) -> int:
         args.match_limit, DEFAULT_TIME_LIMIT,
     )
 
+    if args.rate_sweep is not None:
+        try:
+            sweep_rates = _parse_rate_sweep(args.rate_sweep)
+        except ValueError as exc:
+            print(f"loadgen: {exc}", file=sys.stderr)
+            return 1
+
     self_host = args.self_host or args.url is None
     background = None
     if self_host:
@@ -814,10 +1152,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.server.http import BackgroundServer
         from repro.service.service import MatchService
 
+        scheduler = None
+        if args.scheduler_executor is not None:
+            from repro.service.scheduler import SchedulerConfig
+
+            scheduler = SchedulerConfig(
+                workers=4, executor=args.scheduler_executor,
+                process_workers=4,
+            )
         service = MatchService(
-            catalog=[args.dataset], plan_store=args.plan_store
+            catalog=[args.dataset], plan_store=args.plan_store,
+            scheduler=scheduler,
         )
-        background = BackgroundServer(service, port=0)
+        background = BackgroundServer(service, port=0, max_concurrency=16)
         background.__enter__()
         host, port = background.address
         print(f"self-hosting at http://{host}:{port}", file=sys.stderr)
@@ -827,6 +1174,29 @@ def main(argv: list[str] | None = None) -> int:
         port = int(port_text or 80)
 
     try:
+        try:
+            health = _await_healthy(host, port)
+        except RuntimeError as exc:
+            print(f"loadgen: {exc}", file=sys.stderr)
+            return 1
+        executor_kind = health.get("executor", {}).get("kind")
+        print(
+            f"healthz: status={health.get('status')} "
+            f"executor={executor_kind}",
+            file=sys.stderr,
+        )
+        # Untimed warmup: one workload cycle per execution slot, so the
+        # measured run (and its baseline-compared p95) reflects the warm
+        # serving path, not plan-cold or worker-spawn noise.  The
+        # healthz payload sizes it: a process pool needs every worker to
+        # have seen every query once.
+        pool_info = health.get("executor", {}).get("process_pool") or {}
+        warmup_requests = len(bodies) * max(1, int(pool_info.get("workers") or 1))
+        print(f"warmup: {warmup_requests} untimed requests", file=sys.stderr)
+        run_load(
+            host, port, bodies,
+            requests=warmup_requests, clients=args.clients, mode="closed",
+        )
         stats_before = _http_get_json(host, port, "/stats")
         try:
             check_stats_schema(stats_before, f"http://{host}:{port}/stats")
@@ -839,6 +1209,26 @@ def main(argv: list[str] | None = None) -> int:
             mode=args.mode, rate=args.rate, seed=args.seed,
         )
         stats_after = _http_get_json(host, port, "/stats")
+        rate_sweep = None
+        if args.rate_sweep is not None:
+            print(
+                f"rate sweep: {len(sweep_rates)} open-model legs at "
+                f"{sweep_rates} req/s",
+                file=sys.stderr,
+            )
+            rate_sweep = run_rate_sweep(
+                host, port, bodies,
+                rates=sweep_rates, requests=args.requests,
+                clients=args.clients, seed=args.seed,
+            )
+            for leg in rate_sweep["legs"]:
+                print(
+                    f"  rate {leg['rate_rps']:g} req/s: "
+                    f"p50={leg['latency_p50_s'] * 1e3:.1f}ms "
+                    f"p95={leg['latency_p95_s'] * 1e3:.1f}ms "
+                    f"({leg['errors']} errors)",
+                    file=sys.stderr,
+                )
     finally:
         if background is not None:
             background.__exit__(None, None, None)
@@ -850,6 +1240,7 @@ def main(argv: list[str] | None = None) -> int:
         "query_size": args.query_size,
         "queries": args.queries,
         "match_limit": args.match_limit,
+        "warmup_requests": warmup_requests,
         "calibration_s": round(calibration, 6),
         **measurement,
         "phases": _phase_attribution(stats_before, stats_after),
@@ -860,6 +1251,8 @@ def main(argv: list[str] | None = None) -> int:
             "plan_store": stats_after.get("plan_store"),
         },
     }
+    if rate_sweep is not None:
+        report["rate_sweep"] = rate_sweep
 
     overload_ok = True
     if args.overload:
@@ -884,6 +1277,26 @@ def main(argv: list[str] | None = None) -> int:
         for violation in overload["violations"]:
             print(f"overload VIOLATION: {violation}", file=sys.stderr)
 
+    ab_ok = True
+    if args.executor_ab:
+        print(
+            "executor A/B: thread vs process scheduler tier (self-hosted)",
+            file=sys.stderr,
+        )
+        ab = run_executor_ab(args.dataset)
+        report["executor_ab"] = ab
+        ab_ok = ab["ok"]
+        print(
+            f"executor A/B: thread {ab['thread']['throughput_rps']:.1f} req/s "
+            f"vs process {ab['process']['throughput_rps']:.1f} req/s "
+            f"(speedup {ab['speedup']}x, floor {ab['required_speedup']}x "
+            f"on {ab['cpus']} cores), drift "
+            f"{ab['drift']['mismatches']}/{ab['drift']['compared']}",
+            file=sys.stderr,
+        )
+        for violation in ab["violations"]:
+            print(f"executor A/B VIOLATION: {violation}", file=sys.stderr)
+
     out_path = Path(args.output)
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(
@@ -902,6 +1315,9 @@ def main(argv: list[str] | None = None) -> int:
         print("LOADTEST FAILED: non-2xx or failed responses", file=sys.stderr)
     if not overload_ok:
         print("LOADTEST FAILED: overload gate violations", file=sys.stderr)
+        ok = False
+    if not ab_ok:
+        print("LOADTEST FAILED: executor A/B gate violations", file=sys.stderr)
         ok = False
     if args.compare is not None:
         baseline = json.loads(Path(args.compare).read_text())

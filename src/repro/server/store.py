@@ -149,6 +149,10 @@ class PlanStore:
                 # WAL lets concurrent worker processes read while one
                 # writes; harmless (ignored) for in-memory stores.
                 self._conn.execute("PRAGMA journal_mode=WAL")
+                # Process-pool workers share the file: back off briefly
+                # on a write collision instead of surfacing SQLITE_BUSY
+                # into a serving request.
+                self._conn.execute("PRAGMA busy_timeout=5000")
             self._conn.execute(_TABLE_DDL)
             self._conn.commit()
 

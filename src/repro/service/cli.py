@@ -68,6 +68,25 @@ def add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="N", help="scheduler worker threads",
     )
     group.add_argument(
+        "--scheduler-executor", choices=("thread", "process"),
+        default=SchedulerConfig.executor, metavar="{thread,process}",
+        help="execution tier behind the scheduler: 'thread' runs Phase (3) "
+        "in-process (GIL-serialized), 'process' dispatches to the "
+        "repro.procpool worker pool for CPU parallelism; results are "
+        "bit-identical either way",
+    )
+    group.add_argument(
+        "--process-workers", type=int, default=SchedulerConfig.process_workers,
+        metavar="N",
+        help="worker-process count for --scheduler-executor process",
+    )
+    group.add_argument(
+        "--durable-queue", default=None, metavar="PATH",
+        help="sqlite journal for admitted-but-unserved requests: entries "
+        "survive a crash and are re-admitted (with attempts bumped) on the "
+        "next start",
+    )
+    group.add_argument(
         "--queue-capacity", type=int, default=SchedulerConfig.queue_capacity,
         metavar="N",
         help="bounded admission-queue depth; past it requests are rejected",
@@ -111,6 +130,9 @@ def scheduler_config_from_args(args) -> SchedulerConfig | None:
         return None
     return SchedulerConfig(
         workers=args.sched_workers,
+        executor=args.scheduler_executor,
+        process_workers=args.process_workers,
+        durable_path=args.durable_queue,
         queue_capacity=args.queue_capacity,
         default_deadline_s=args.default_deadline,
         tenant_max_inflight=args.tenant_max_inflight,

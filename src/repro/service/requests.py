@@ -308,6 +308,10 @@ class MatchResponse:
         attempts ran, and whether the served result came from the
         degraded retry envelope (tighter limits / cheaper orderer)
         after the first attempt timed out.
+    executor:
+        Which execution tier served a *scheduled* request ("thread" or
+        "process"); ``None`` — kept off the wire — on the direct path.
+        Purely diagnostic: results are bit-identical across tiers.
     """
 
     dataset: str
@@ -329,6 +333,7 @@ class MatchResponse:
     queue_time_s: float = 0.0
     attempts: int = 1
     degraded: bool = False
+    executor: str | None = None
 
     @classmethod
     def failure(
@@ -401,6 +406,8 @@ class MatchResponse:
             payload["error"] = self.error
         if self.error_code is not None:
             payload["code"] = self.error_code
+        if self.executor is not None:
+            payload["executor"] = self.executor
         return payload
 
     @classmethod
@@ -429,6 +436,7 @@ class MatchResponse:
                 queue_time_s=float(payload.get("queue_time_s", 0.0)),
                 attempts=int(payload.get("attempts", 1)),
                 degraded=bool(payload.get("degraded", False)),
+                executor=payload.get("executor"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed match-response payload: {exc}") from exc

@@ -109,6 +109,25 @@ class SchedulerConfig:
         Optional cheaper orderer registry name for the retry.
     retry_after_s:
         Hint surfaced on rejections (HTTP ``Retry-After``).
+    executor:
+        Where admitted requests execute: ``"thread"`` (scheduler worker
+        threads call :meth:`MatchService.submit` directly — the PR 9
+        behaviour) or ``"process"`` (workers block on the service's
+        :class:`~repro.procpool.pool.ProcessPool`, so CPU-bound
+        enumeration scales with cores).  Results are bit-identical
+        either way.
+    process_workers:
+        Worker-process count for ``executor="process"``.
+    durable_path:
+        Optional sqlite path for the durable admission journal
+        (:class:`~repro.procpool.durable.DurableQueue`): admissions are
+        journaled before queueing and replayed on the next scheduler
+        construction over the same path, so a killed server's
+        admitted-but-unserved backlog is recovered.  ``None`` (default)
+        keeps admission purely in memory.
+    calibration_alpha:
+        EWMA smoothing factor for the observed-cost feedback loop
+        (:class:`~repro.procpool.feedback.CostCalibrator`).
     """
 
     workers: int = 2
@@ -122,6 +141,10 @@ class SchedulerConfig:
     degrade_time_limit: float | None = None
     degrade_orderer: str | None = None
     retry_after_s: float = 1.0
+    executor: str = "thread"
+    process_workers: int = 4
+    durable_path: str | None = None
+    calibration_alpha: float = 0.2
 
 
 def entry_sort_key(
@@ -161,10 +184,12 @@ class _Entry:
     request: MatchRequest
     future: Future
     tenant: str
-    cost: float
+    cost: float  # calibrated estimate (the queue orders by this)
     deadline: float | None  # absolute monotonic seconds, or None
     enqueued_at: float
     seq: int
+    raw_cost: float = 0.0  # uncalibrated static estimate (feedback input)
+    journal_id: int | None = None  # durable-queue row, when journaling
 
     @property
     def sort_key(self) -> tuple:
@@ -228,6 +253,19 @@ class AdmissionQueue:
             self._closed = True
             self._not_empty.notify_all()
 
+    def drain_all(self) -> list[_Entry]:
+        """Remove and return every queued entry (best-ranked first).
+
+        The non-graceful shutdown path: entries returned here were
+        admitted but will never run, and the caller must resolve their
+        futures (with the ``rejected`` envelope) — a popped entry is
+        the popper's responsibility, always.
+        """
+        with self._not_empty:
+            entries = [entry for _, entry in sorted(self._heap)]
+            self._heap.clear()
+            return entries
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._heap)
@@ -275,7 +313,16 @@ class _TenantAccount:
 
 @dataclass(frozen=True)
 class SchedulerStats:
-    """Point-in-time snapshot of a :class:`CostAwareScheduler`."""
+    """Point-in-time snapshot of a :class:`CostAwareScheduler`.
+
+    ``executor`` names the execution tier (``"thread"``/``"process"``);
+    ``procpool`` carries the process pool's liveness snapshot when that
+    tier is in play.  ``recovered`` counts entries replayed from the
+    durable journal (``durable`` holds its snapshot when configured),
+    and ``calibration`` is the observed-cost feedback state — the
+    estimate-vs-observed loop surfaced per ``(dataset, query-size)``
+    bucket.
+    """
 
     queue_depth: int
     queue_capacity: int
@@ -287,6 +334,11 @@ class SchedulerStats:
     completed: int
     errors: int
     tenants: dict = field(default_factory=dict)
+    executor: str = "thread"
+    recovered: int = 0
+    calibration: dict = field(default_factory=dict)
+    procpool: dict | None = None
+    durable: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-compatible payload (merged into ``/stats``)."""
@@ -294,16 +346,21 @@ class SchedulerStats:
             "queue_depth": int(self.queue_depth),
             "queue_capacity": int(self.queue_capacity),
             "workers": int(self.workers),
+            "executor": str(self.executor),
             "admitted": int(self.admitted),
             "rejected": int(self.rejected),
             "expired": int(self.expired),
             "degraded": int(self.degraded),
             "completed": int(self.completed),
             "errors": int(self.errors),
+            "recovered": int(self.recovered),
             "tenants": {
                 name: dict(stats)
                 for name, stats in sorted(self.tenants.items())
             },
+            "calibration": dict(self.calibration),
+            "procpool": dict(self.procpool) if self.procpool is not None else None,
+            "durable": dict(self.durable) if self.durable is not None else None,
         }
 
 
@@ -330,6 +387,11 @@ class CostAwareScheduler:
         self._config = config if config is not None else SchedulerConfig()
         if self._config.workers <= 0:
             raise ValueError("scheduler workers must be positive")
+        if self._config.executor not in ("thread", "process"):
+            raise ValueError(
+                f"scheduler executor must be 'thread' or 'process', "
+                f"got {self._config.executor!r}"
+            )
         self._estimator = estimator
         self._queue = AdmissionQueue(self._config.queue_capacity)
         self._lock = threading.Lock()
@@ -341,7 +403,31 @@ class CostAwareScheduler:
         self._degraded = 0
         self._completed = 0
         self._errors = 0
+        self._recovered = 0
         self._closed = False
+        # Observed-cost feedback (local imports: repro.procpool imports
+        # repro.service.requests, so the module edge stays one-way at
+        # import time).
+        from repro.procpool.feedback import CostCalibrator
+
+        self._calibrator = CostCalibrator(alpha=self._config.calibration_alpha)
+        if self._config.executor == "process":
+            if getattr(service, "procpool", None) is None:
+                raise ValueError(
+                    "executor='process' requires the service to carry a "
+                    "process pool (construct through MatchService(..., "
+                    "scheduler=SchedulerConfig(executor='process')))"
+                )
+            self._execute = self._execute_process
+        else:
+            # Late-bound on purpose: tests (and instrumentation) replace
+            # ``service.submit`` on the instance after construction.
+            self._execute = self._execute_thread
+        self._journal = None
+        if self._config.durable_path is not None:
+            from repro.procpool.durable import DurableQueue
+
+            self._journal = DurableQueue(self._config.durable_path)
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -352,6 +438,8 @@ class CostAwareScheduler:
         ]
         for worker in self._workers:
             worker.start()
+        if self._journal is not None:
+            self._recover()
 
     @property
     def config(self) -> SchedulerConfig:
@@ -383,6 +471,23 @@ class CostAwareScheduler:
             return 0.0
         return cost if math.isfinite(cost) else 0.0
 
+    def _execute_thread(self, request: MatchRequest):
+        """Serve one admitted request on this worker thread (default)."""
+        return self._service.submit(request)
+
+    def _execute_process(self, request: MatchRequest):
+        """Serve one admitted request through the process pool.
+
+        The scheduler worker thread blocks on the worker process —
+        exactly the point: *threads* hold admission slots cheaply while
+        *processes* burn cores on Phase (3).  The parent meters the
+        remote response into the service's stats, since the worker's
+        private counters die with it.
+        """
+        response = self._service.procpool.execute(request)
+        self._service._record_remote(response)
+        return response
+
     def submit(self, request: MatchRequest) -> Future:
         """Admit one request; a ``Future`` resolving to its response.
 
@@ -401,7 +506,13 @@ class CostAwareScheduler:
                 code="validation",
             )
         config = self._config
-        cost = self._estimate(request)
+        raw_cost = self._estimate(request)
+        # The observed-cost loop: a bucket that historically ran hotter
+        # (or cooler) than its static estimate has its admission cost
+        # scaled accordingly; unobserved buckets multiply by 1.0.
+        cost = raw_cost * self._calibrator.correction(
+            request.dataset, request.query.num_vertices
+        )
         tenant = request.tenant if request.tenant is not None else config.default_tenant
         deadline_s = (
             request.deadline_s
@@ -445,6 +556,20 @@ class CostAwareScheduler:
             self._admitted += 1
             seq = self._seq
             self._seq += 1
+        journal_id = None
+        if self._journal is not None:
+            # Journal *before* queueing: durability must cover the
+            # window between admission and execution, so a crash right
+            # after this line replays the request rather than losing it.
+            journal_id = self._journal.record(
+                request.to_dict(),
+                tenant=tenant,
+                cost=cost,
+                priority=request.priority,
+                deadline_wall=(
+                    None if deadline_s is None else time.time() + float(deadline_s)
+                ),
+            )
         entry = _Entry(
             request=request,
             future=Future(),
@@ -453,8 +578,12 @@ class CostAwareScheduler:
             deadline=deadline,
             enqueued_at=now,
             seq=seq,
+            raw_cost=raw_cost,
+            journal_id=journal_id,
         )
         if not self._queue.push(entry):
+            if journal_id is not None:
+                self._journal.complete(journal_id)
             with self._lock:
                 account.inflight -= 1
                 account.cost_inflight -= cost
@@ -468,6 +597,68 @@ class CostAwareScheduler:
                 retry_after_s=config.retry_after_s,
             )
         return entry.future
+
+    # ------------------------------------------------------------------
+    # Durable recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal's admitted-but-unserved backlog.
+
+        Runs once, at construction: every journaled row is re-admitted
+        exactly once (reusing its persisted priority/cost and its row —
+        no double journaling), with the wall-clock deadline translated
+        back into this process's monotonic time.  An already-expired
+        deadline still admits: the worker expires it through the normal
+        path, which reaches a terminal state and clears the row.  If the
+        in-memory queue is smaller than the backlog, the overflow rows
+        stay journaled for the next restart.
+        """
+        from repro.errors import ReproError
+
+        now_wall = time.time()
+        now_mono = time.monotonic()
+        for recovered in self._journal.recover():
+            try:
+                request = MatchRequest.from_dict(recovered.request)
+            except ReproError:
+                # An unreadable envelope can never be served; dropping
+                # the row is its terminal state.
+                self._journal.complete(recovered.entry_id)
+                continue
+            deadline = (
+                None
+                if recovered.deadline_wall is None
+                else now_mono + (recovered.deadline_wall - now_wall)
+            )
+            with self._lock:
+                account = self._accounts.setdefault(
+                    recovered.tenant, _TenantAccount()
+                )
+                account.inflight += 1
+                account.cost_inflight += recovered.cost
+                account.admitted += 1
+                self._admitted += 1
+                self._recovered += 1
+                seq = self._seq
+                self._seq += 1
+            entry = _Entry(
+                request=request,
+                future=Future(),
+                tenant=recovered.tenant,
+                cost=recovered.cost,
+                deadline=deadline,
+                enqueued_at=now_mono,
+                seq=seq,
+                raw_cost=recovered.cost,
+                journal_id=recovered.entry_id,
+            )
+            if not self._queue.push(entry):
+                with self._lock:
+                    account.inflight -= 1
+                    account.cost_inflight -= recovered.cost
+                    account.admitted -= 1
+                    self._admitted -= 1
+                    self._recovered -= 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -524,7 +715,7 @@ class CostAwareScheduler:
                     code="deadline_expired",
                 )
             attempts, degraded = 1, False
-            response = self._service.submit(request)
+            response = self._execute(request)
             if (
                 response.timed_out
                 and self._config.retry_degrade
@@ -532,7 +723,7 @@ class CostAwareScheduler:
             ):
                 retry = self._degraded_request(request)
                 if retry is not None:
-                    response = self._service.submit(retry)
+                    response = self._execute(retry)
                     attempts, degraded = 2, True
         except BaseException as exc:
             if outcome != "expired":
@@ -542,6 +733,17 @@ class CostAwareScheduler:
             return
         if degraded:
             outcome = "degraded"
+        elif not response.timed_out:
+            # Close the loop: the actual Phase (3) seconds this request
+            # cost, against the static estimate admission ordered by.
+            # Truncated observations (timeout, degrade) are skipped —
+            # they measure the limit, not the plan.
+            self._calibrator.observe(
+                request.dataset,
+                request.query.num_vertices,
+                estimated=entry.raw_cost,
+                observed_s=response.enum_time,
+            )
         self._release(entry, outcome)
         entry.future.set_result(
             replace(
@@ -549,10 +751,16 @@ class CostAwareScheduler:
                 queue_time_s=queue_time,
                 attempts=attempts,
                 degraded=degraded,
+                executor=self._config.executor,
             )
         )
 
     def _release(self, entry: _Entry, outcome: str | None = None) -> None:
+        if entry.journal_id is not None and self._journal is not None:
+            # Any outcome reaching here is terminal — served, failed,
+            # expired, cancelled, or rejected at shutdown — so the
+            # journal row is done; only a crash leaves rows behind.
+            self._journal.complete(entry.journal_id)
         with self._lock:
             account = self._accounts.get(entry.tenant)
             if account is not None:
@@ -562,6 +770,8 @@ class CostAwareScheduler:
                     account.expired += 1
                 elif outcome == "error":
                     account.errors += 1
+                elif outcome == "rejected":
+                    account.rejected += 1
                 elif outcome == "degraded":
                     account.degraded += 1
                     account.completed += 1
@@ -571,6 +781,8 @@ class CostAwareScheduler:
                 self._expired += 1
             elif outcome == "error":
                 self._errors += 1
+            elif outcome == "rejected":
+                self._rejected += 1
             elif outcome == "degraded":
                 self._degraded += 1
                 self._completed += 1
@@ -583,6 +795,13 @@ class CostAwareScheduler:
     def stats(self) -> SchedulerStats:
         """A consistent :class:`SchedulerStats` snapshot."""
         depth = len(self._queue)
+        calibration = self._calibrator.stats()
+        procpool = None
+        if self._config.executor == "process":
+            pool = getattr(self._service, "procpool", None)
+            if pool is not None:
+                procpool = pool.health()
+        durable = self._journal.stats() if self._journal is not None else None
         with self._lock:
             return SchedulerStats(
                 queue_depth=depth,
@@ -598,23 +817,43 @@ class CostAwareScheduler:
                     name: account.to_dict()
                     for name, account in self._accounts.items()
                 },
+                executor=self._config.executor,
+                recovered=self._recovered,
+                calibration=calibration,
+                procpool=procpool,
+                durable=durable,
             )
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop admissions; drain queued work, then stop the workers.
+    def shutdown(self, wait: bool = True, *, drain: bool = True) -> None:
+        """Stop admissions, then stop the workers.
 
-        Queued entries still execute (graceful drain) — callers that
-        want to abandon work should cancel their futures first.
-        Idempotent.
+        ``drain=True`` (default) lets queued entries still execute —
+        the graceful path; callers that want to abandon work should
+        cancel their futures first.  ``drain=False`` flushes the queue
+        instead: every queued-but-unstarted entry's future fails with
+        the structured ``rejected`` envelope (in-flight work still
+        finishes — execution is never interrupted mid-request).
+        Idempotent; the first call's ``drain`` wins.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        if not drain:
+            rejection = ServiceError(
+                "scheduler shut down before the request ran",
+                code="rejected",
+            )
+            for entry in self._queue.drain_all():
+                self._release(entry, "rejected")
+                if entry.future.set_running_or_notify_cancel():
+                    entry.future.set_exception(rejection)
         self._queue.close()
         if wait:
             for worker in self._workers:
                 worker.join()
+            if self._journal is not None:
+                self._journal.close()
 
     def __enter__(self) -> "CostAwareScheduler":
         return self

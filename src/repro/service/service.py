@@ -55,7 +55,10 @@ LATENCY_WINDOW = 8192
 #: load harness's stats-delta attribution, dashboards) can refuse
 #: payloads they don't understand instead of mis-parsing them.
 #: v2: added ``schema`` itself and the ``scheduler`` block.
-STATS_SCHEMA_VERSION = 2
+#: v3: the ``scheduler`` block grew the execution tier surface —
+#: ``executor``, ``recovered``, ``calibration`` (observed-cost
+#: feedback), ``procpool`` and ``durable`` liveness snapshots.
+STATS_SCHEMA_VERSION = 3
 
 
 class LatencyRing:
@@ -278,6 +281,7 @@ class MatchService:
         self._latencies = LatencyRing(latency_window)
         self._shard_executor: ThreadPoolExecutor | None = None
         self.scheduler = None
+        self.procpool = None
         if scheduler is not None and scheduler is not False:
             # Local import: the scheduler module imports from
             # repro.service.requests, and keeping the dependency edge
@@ -285,6 +289,21 @@ class MatchService:
             from repro.service.scheduler import CostAwareScheduler, SchedulerConfig
 
             config = SchedulerConfig() if scheduler is True else scheduler
+            if config.executor == "process":
+                # The pool must exist before the scheduler: its workers
+                # dispatch to it from their first pop.  Workers share
+                # this service's plan-store file (when it is a real
+                # file) so Phase (1) rebuilds once per worker and the
+                # recorded order is reused — the bit-identity contract.
+                from repro.procpool import ProcessPool, catalog_spec
+
+                store_path = getattr(self.plan_store, "path", None)
+                if store_path == ":memory:":
+                    store_path = None  # private to this process
+                self.procpool = ProcessPool(
+                    catalog_spec(self.catalog, plan_store_path=store_path),
+                    workers=config.process_workers,
+                )
             self.scheduler = CostAwareScheduler(self, config)
 
     def _shard_pool(self) -> ThreadPoolExecutor:
@@ -448,6 +467,23 @@ class MatchService:
         """Count one captured request failure (stats only)."""
         with self._lock:
             self._errors += 1
+
+    def _record_remote(self, response: MatchResponse) -> None:
+        """Meter one response served by a worker *process*.
+
+        The worker's private service counted the request in its own
+        stats, which die with it — the parent re-records the response
+        here with the same semantics as :meth:`submit`: planning time
+        only when the worker actually planned (its cache missed),
+        enumeration time and latency always.
+        """
+        with self._lock:
+            self._requests += 1
+            if not response.cache_hit:
+                self._filter_time += response.filter_time
+                self._order_time += response.order_time
+            self._enum_time += response.enum_time
+            self._latencies.append(response.total_time)
 
     def submit_scheduled(self, request: MatchRequest):
         """Admit one request through the cost-aware scheduler.
@@ -624,15 +660,54 @@ class MatchService:
                 scheduler=scheduler_stats,
             )
 
-    def close(self) -> None:
-        """Release background resources (scheduler, shard pool).
+    def health(self) -> dict:
+        """Liveness snapshot — what ``GET /healthz`` serves.
 
-        Queued scheduled work drains gracefully first.  Idempotent;
-        the service remains usable for direct :meth:`submit` calls
-        afterwards, but scheduled admission is permanently closed.
+        ``status`` is ``"ok"`` unless the process pool is unrecoverably
+        down (``"down"``, mapped to HTTP 503).  ``executor`` reports the
+        execution tier: its kind (``"inline"`` without a scheduler,
+        else the scheduler's executor), scheduler worker count and
+        queue depth, and — under ``executor="process"`` — the pool's
+        worker liveness (alive/dead/busy/respawns).
+        """
+        executor: dict = {
+            "kind": "inline",
+            "workers": 0,
+            "queue_depth": 0,
+            "queue_capacity": 0,
+            "process_pool": None,
+        }
+        status = "ok"
+        if self.scheduler is not None:
+            executor["kind"] = self.scheduler.config.executor
+            executor["workers"] = self.scheduler.config.workers
+            executor["queue_depth"] = len(self.scheduler._queue)
+            executor["queue_capacity"] = self.scheduler._queue.capacity
+        if self.procpool is not None:
+            pool_health = self.procpool.health()
+            executor["process_pool"] = pool_health
+            if pool_health["down"]:
+                status = "down"
+        return {
+            "status": status,
+            "datasets": list(self.catalog.names()),
+            "executor": executor,
+        }
+
+    def close(self) -> None:
+        """Release background resources (scheduler, process pool,
+        shard pool).
+
+        Queued scheduled work drains gracefully first (the scheduler
+        shuts down before the process pool — its workers may still be
+        blocked on pool futures).  Idempotent; the service remains
+        usable for direct :meth:`submit` calls afterwards, but
+        scheduled admission is permanently closed.
         """
         if self.scheduler is not None:
             self.scheduler.shutdown()
+        if self.procpool is not None:
+            self.procpool.shutdown()
         with self._lock:
             executor, self._shard_executor = self._shard_executor, None
         if executor is not None:

@@ -1,0 +1,105 @@
+"""Subprocess body for the kill-and-restart durability test.
+
+Invoked as::
+
+    python _durable_child.py fill <journal_path>
+    python _durable_child.py recover <journal_path>
+
+``fill`` builds a scheduler whose execution path blocks forever, admits
+four requests (journaled at admission, never served), prints one JSON
+marker line once all four are durably pending, then hangs until the
+parent SIGKILLs it — a real crash with admitted-but-unserved work.
+
+``recover`` opens a normal service over the same journal, lets
+construction-time recovery replay the backlog, waits for it to drain,
+and prints one JSON line with the recovery counters.
+"""
+
+import json
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.graphs import erdos_renyi, extract_query
+from repro.service import MatchRequest, MatchService, SchedulerConfig
+
+REQUESTS = 4
+
+
+def build_inputs():
+    data = erdos_renyi(120, 360, 3, seed=7)
+    rng = np.random.default_rng(3)
+    return data, [extract_query(data, 4, rng) for _ in range(REQUESTS)]
+
+
+def build_service(journal_path: str, data) -> MatchService:
+    return MatchService(
+        catalog={"tiny": data},
+        scheduler=SchedulerConfig(
+            workers=1, durable_path=journal_path, retry_degrade=False,
+        ),
+    )
+
+
+def scheduler_stats(service) -> dict:
+    return service.stats().to_dict()["scheduler"]
+
+
+def emit(payload: dict) -> None:
+    print(json.dumps(payload), flush=True)
+
+
+def fill(journal_path: str) -> int:
+    data, queries = build_inputs()
+    service = build_service(journal_path, data)
+    # Freeze execution *below* the admission journal: the scheduler
+    # worker parks inside the first request forever, so every admitted
+    # entry stays journaled — exactly the crash window under test.
+    service.submit = lambda request: threading.Event().wait()
+    for query in queries:
+        service.submit_scheduled(MatchRequest("tiny", query, tenant="acme"))
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        stats = scheduler_stats(service)
+        if stats["durable"]["pending"] == REQUESTS:
+            emit({"ready": True, "pending": REQUESTS})
+            time.sleep(3600)  # parent SIGKILLs us here
+            return 0
+        time.sleep(0.05)
+    emit({"ready": False, "stats": scheduler_stats(service)})
+    return 1
+
+
+def recover(journal_path: str) -> int:
+    data, _ = build_inputs()
+    service = build_service(journal_path, data)
+    try:
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            stats = scheduler_stats(service)
+            terminal = stats["completed"] + stats["errors"] + stats["expired"]
+            if stats["durable"]["pending"] == 0 and terminal >= stats["recovered"]:
+                break
+            time.sleep(0.05)
+        emit({
+            "recovered": stats["recovered"],
+            "completed": stats["completed"],
+            "pending": stats["durable"]["pending"],
+            "tenant_completed": stats["tenants"]
+            .get("acme", {})
+            .get("completed", 0),
+        })
+        return 0
+    finally:
+        service.close()
+
+
+def main() -> int:
+    mode, journal_path = sys.argv[1], sys.argv[2]
+    return fill(journal_path) if mode == "fill" else recover(journal_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

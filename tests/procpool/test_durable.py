@@ -1,0 +1,110 @@
+"""Unit tests for the durable admission journal."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import ReproError
+from repro.procpool import JOURNAL_SCHEMA_VERSION, DurableQueue
+
+PAYLOAD = {"dataset": "tiny", "query": {"labels": [0], "edges": []}}
+
+
+@pytest.fixture
+def journal(tmp_path):
+    with DurableQueue(tmp_path / "journal.sqlite") as queue:
+        yield queue
+
+
+class TestJournaling:
+    def test_record_then_pending_roundtrips(self, journal):
+        entry_id = journal.record(
+            PAYLOAD, tenant="acme", cost=12.5, priority=3, deadline_wall=1234.5,
+        )
+        (entry,) = journal.pending()
+        assert entry.entry_id == entry_id
+        assert entry.request == PAYLOAD
+        assert entry.tenant == "acme"
+        assert entry.cost == 12.5
+        assert entry.priority == 3
+        assert entry.deadline_wall == 1234.5
+        assert entry.attempts == 0
+        assert entry.admitted_wall > 0.0
+
+    def test_complete_removes_the_row(self, journal):
+        entry_id = journal.record(PAYLOAD, tenant="t", cost=1.0)
+        journal.record(PAYLOAD, tenant="t", cost=2.0)
+        journal.complete(entry_id)
+        assert len(journal) == 1
+        assert journal.pending()[0].cost == 2.0
+
+    def test_complete_is_idempotent(self, journal):
+        entry_id = journal.record(PAYLOAD, tenant="t", cost=1.0)
+        journal.complete(entry_id)
+        journal.complete(entry_id)
+        assert len(journal) == 0
+
+    def test_pending_preserves_admission_order(self, journal):
+        ids = [
+            journal.record(PAYLOAD, tenant="t", cost=float(i)) for i in range(5)
+        ]
+        assert [e.entry_id for e in journal.pending()] == ids
+
+    def test_deadline_none_survives(self, journal):
+        journal.record(PAYLOAD, tenant="t", cost=1.0)
+        assert journal.pending()[0].deadline_wall is None
+
+
+class TestRecovery:
+    def test_recover_bumps_attempts_in_memory_and_on_disk(self, journal):
+        journal.record(PAYLOAD, tenant="t", cost=1.0)
+        recovered = journal.recover()
+        assert [e.attempts for e in recovered] == [1]
+        # The bump is durable: a second restart sees attempts=1 -> 2.
+        assert [e.attempts for e in journal.pending()] == [1]
+        assert [e.attempts for e in journal.recover()] == [2]
+
+    def test_recover_on_empty_journal(self, journal):
+        assert journal.recover() == []
+
+    def test_unreadable_request_row_is_skipped(self, journal, tmp_path):
+        journal.record(PAYLOAD, tenant="t", cost=1.0)
+        conn = sqlite3.connect(journal.path)
+        try:
+            conn.execute("UPDATE admissions SET request='not json'")
+            conn.commit()
+        finally:
+            conn.close()
+        assert journal.recover() == []  # skipped, not raised
+
+
+class TestSchema:
+    def test_reopen_same_version_is_fine(self, tmp_path):
+        path = tmp_path / "journal.sqlite"
+        with DurableQueue(path) as queue:
+            queue.record(PAYLOAD, tenant="t", cost=1.0)
+        with DurableQueue(path) as queue:
+            assert len(queue) == 1
+
+    def test_version_mismatch_refuses_to_open(self, tmp_path):
+        path = tmp_path / "journal.sqlite"
+        DurableQueue(path).close()
+        conn = sqlite3.connect(path)
+        try:
+            conn.execute(
+                "UPDATE journal_meta SET value=? WHERE key='schema'",
+                (str(JOURNAL_SCHEMA_VERSION + 1),),
+            )
+            conn.commit()
+        finally:
+            conn.close()
+        with pytest.raises(ReproError):
+            DurableQueue(path)
+
+    def test_stats_payload(self, journal):
+        journal.record(PAYLOAD, tenant="t", cost=1.0)
+        journal.record(PAYLOAD, tenant="t", cost=1.0, attempts=2)
+        stats = journal.stats()
+        assert stats["pending"] == 2
+        assert stats["max_attempts"] == 2
+        assert stats["path"] == journal.path

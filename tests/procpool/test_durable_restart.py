@@ -1,0 +1,88 @@
+"""Kill-and-restart: the acceptance test for the durable admission queue.
+
+A real subprocess admits four requests whose execution path is frozen,
+so all four sit journaled-but-unserved; the parent SIGKILLs it — no
+atexit, no cleanup, a genuine crash.  A fresh process over the same
+journal must recover every entry exactly once, serve them, and leave
+the journal empty; a third process finds nothing to replay.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.procpool import DurableQueue
+
+CHILD = Path(__file__).with_name("_durable_child.py")
+SRC = Path(__file__).resolve().parents[2] / "src"
+REQUESTS = 4
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_recover(journal, timeout=180) -> dict:
+    result = subprocess.run(
+        [sys.executable, str(CHILD), "recover", str(journal)],
+        capture_output=True, text=True, timeout=timeout, env=child_env(),
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+@pytest.fixture(scope="module")
+def crashed_journal(tmp_path_factory):
+    """A journal left behind by a SIGKILLed process with 4 admissions."""
+    journal = tmp_path_factory.mktemp("durable") / "journal.sqlite"
+    child = subprocess.Popen(
+        [sys.executable, str(CHILD), "fill", str(journal)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=child_env(),
+    )
+    try:
+        marker = json.loads(child.stdout.readline())
+        assert marker.get("ready"), marker
+    finally:
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=60)
+    return journal
+
+
+class TestCrash:
+    def test_admitted_but_unserved_entries_survive_the_kill(
+        self, crashed_journal
+    ):
+        with DurableQueue(crashed_journal) as queue:
+            entries = queue.pending()
+        assert len(entries) == REQUESTS
+        assert [e.attempts for e in entries] == [0] * REQUESTS
+        assert all(e.tenant == "acme" for e in entries)
+        assert all(e.request["dataset"] == "tiny" for e in entries)
+        assert all(e.cost > 0.0 for e in entries)
+
+
+class TestRestart:
+    def test_restart_recovers_every_entry_exactly_once(
+        self, crashed_journal
+    ):
+        report = run_recover(crashed_journal)
+        assert report["recovered"] == REQUESTS
+        assert report["completed"] == REQUESTS
+        assert report["tenant_completed"] == REQUESTS
+        assert report["pending"] == 0
+        # Terminal outcomes were journal-completed: nothing left on disk.
+        with DurableQueue(crashed_journal) as queue:
+            assert len(queue) == 0
+
+    def test_second_restart_finds_nothing_to_replay(self, crashed_journal):
+        report = run_recover(crashed_journal)
+        assert report["recovered"] == 0
+        assert report["completed"] == 0

@@ -1,0 +1,104 @@
+"""Unit tests for the observed-cost EWMA calibrator."""
+
+import threading
+
+import pytest
+
+from repro.procpool import DEFAULT_ALPHA, CostCalibrator
+
+
+class TestCorrection:
+    def test_unobserved_bucket_is_neutral(self):
+        calibrator = CostCalibrator()
+        assert calibrator.correction("ds", 8) == 1.0
+
+    def test_single_bucket_corrects_to_one(self):
+        # With one bucket the bucket rate IS the global rate: the
+        # correction must stay neutral rather than inflate every cost.
+        calibrator = CostCalibrator(alpha=0.5)
+        for _ in range(5):
+            calibrator.observe("ds", 8, estimated=100.0, observed_s=0.2)
+        assert calibrator.correction("ds", 8) == pytest.approx(1.0)
+
+    def test_expensive_bucket_corrects_upward(self):
+        # Same static estimate, 10x the observed seconds: the slow
+        # bucket must sort as more expensive than the fast one.
+        calibrator = CostCalibrator(alpha=0.5)
+        for _ in range(4):
+            calibrator.observe("ds", 8, estimated=100.0, observed_s=0.1)
+            calibrator.observe("ds", 16, estimated=100.0, observed_s=1.0)
+        assert calibrator.correction("ds", 16) > 1.0 > calibrator.correction("ds", 8)
+
+    def test_correction_is_dimensionless_ratio(self):
+        # bucket_rate / global_rate: scaling every observation by a
+        # constant machine-speed factor must not change corrections.
+        fast, slow = CostCalibrator(alpha=0.5), CostCalibrator(alpha=0.5)
+        for calibrator, scale in ((fast, 1.0), (slow, 7.0)):
+            calibrator.observe("ds", 4, estimated=10.0, observed_s=0.01 * scale)
+            calibrator.observe("ds", 8, estimated=10.0, observed_s=0.05 * scale)
+        assert fast.correction("ds", 4) == pytest.approx(slow.correction("ds", 4))
+        assert fast.correction("ds", 8) == pytest.approx(slow.correction("ds", 8))
+
+
+class TestObserve:
+    def test_nonpositive_estimate_is_skipped(self):
+        calibrator = CostCalibrator()
+        calibrator.observe("ds", 8, estimated=0.0, observed_s=1.0)
+        calibrator.observe("ds", 8, estimated=-5.0, observed_s=1.0)
+        assert calibrator.stats()["samples"] == 0
+
+    def test_negative_observation_is_skipped(self):
+        calibrator = CostCalibrator()
+        calibrator.observe("ds", 8, estimated=10.0, observed_s=-0.1)
+        assert calibrator.stats()["samples"] == 0
+
+    def test_first_sample_seeds_the_ewma(self):
+        calibrator = CostCalibrator(alpha=0.1)
+        calibrator.observe("ds", 8, estimated=100.0, observed_s=0.5)
+        bucket = calibrator.stats()["buckets"]["ds/8"]
+        assert bucket["seconds_per_cost"] == pytest.approx(0.005)
+        assert bucket["abs_rel_err"] == 0.0
+
+    def test_abs_rel_err_tracks_prediction_quality(self):
+        calibrator = CostCalibrator(alpha=1.0)
+        calibrator.observe("ds", 8, estimated=100.0, observed_s=0.5)
+        # Rate predicts 0.5s; observe 1.0s -> |0.5 - 1.0| / 1.0 = 0.5.
+        calibrator.observe("ds", 8, estimated=100.0, observed_s=1.0)
+        bucket = calibrator.stats()["buckets"]["ds/8"]
+        assert bucket["abs_rel_err"] == pytest.approx(0.5)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            CostCalibrator(alpha=0.0)
+        with pytest.raises(ValueError):
+            CostCalibrator(alpha=1.5)
+
+
+class TestStats:
+    def test_stats_payload_shape(self):
+        calibrator = CostCalibrator()
+        calibrator.observe("a", 4, estimated=10.0, observed_s=0.1)
+        calibrator.observe("b", 8, estimated=20.0, observed_s=0.4)
+        stats = calibrator.stats()
+        assert stats["alpha"] == DEFAULT_ALPHA
+        assert stats["samples"] == 2
+        assert sorted(stats["buckets"]) == ["a/4", "b/8"]
+        for bucket in stats["buckets"].values():
+            assert {
+                "samples", "seconds_per_cost", "correction",
+                "abs_rel_err", "observed_s", "estimated_cost",
+            } <= set(bucket)
+
+    def test_concurrent_observers_do_not_lose_samples(self):
+        calibrator = CostCalibrator(alpha=0.01)
+
+        def observe():
+            for _ in range(200):
+                calibrator.observe("ds", 8, estimated=10.0, observed_s=0.1)
+
+        threads = [threading.Thread(target=observe) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert calibrator.stats()["samples"] == 800

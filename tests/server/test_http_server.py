@@ -52,7 +52,12 @@ class TestRoutes:
         _, background = served
         status, payload = request_json(background, "GET", "/healthz")
         assert status == 200
-        assert payload == {"status": "ok", "datasets": ["tiny"]}
+        assert payload["status"] == "ok"
+        assert payload["datasets"] == ["tiny"]
+        # Inline (no scheduler) services report the inline executor and
+        # no process pool; liveness details arrive with executor tiers.
+        assert payload["executor"]["kind"] == "inline"
+        assert payload["executor"]["process_pool"] is None
 
     def test_match_cold_then_warm_is_bit_identical(self, served, query):
         _, background = served

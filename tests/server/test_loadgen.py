@@ -1,8 +1,6 @@
 """Tests for the closed-loop load harness and its CI gate."""
 
-import ast
 import importlib.util
-import inspect
 import json
 from pathlib import Path
 
@@ -210,7 +208,10 @@ class TestCli:
         assert report["requests"] == 6 and report["errors"] == 0
         assert report["totals"]["matches"] > 0
         assert report["phases"]["enum_time_s"] >= 0.0
-        assert report["phases"]["filter_time_s"] > 0.0
+        # Warmup absorbs the cold planning: the measured window is
+        # steady-state, so phase planning time may legitimately be 0.
+        assert report["phases"]["filter_time_s"] >= 0.0
+        assert report["warmup_requests"] >= 1
         assert report["latency_p99_s"] >= report["latency_p50_s"] > 0.0
         # Gate the run against its own report: must pass.
         again = tmp_path / "again.json"
@@ -236,31 +237,20 @@ class TestCli:
         assert code == 1
 
 
-def _function_body_dump(func_source: str) -> str:
-    """AST dump of a function body with its docstring stripped."""
-    tree = ast.parse(func_source)
-    function = tree.body[0]
-    body = function.body
-    if (
-        body
-        and isinstance(body[0], ast.Expr)
-        and isinstance(body[0].value, ast.Constant)
-    ):
-        body = body[1:]
-    return "\n".join(ast.dump(node) for node in body)
-
-
 def test_calibration_load_matches_bench_matching():
-    """The two ``_calibrate`` duplicates must stay the same reference load.
+    """Both gates must normalize on the *same* reference load.
 
-    Serving and matching baselines normalize on this number; if one copy
-    drifts, cross-benchmark comparisons silently break.
+    Serving and matching baselines divide by this number; if the two
+    callers stopped sharing one definition, cross-benchmark comparisons
+    would silently break.  Since ``repro.bench.calibrate`` became the
+    single home, identity (not AST equality) is the contract.
     """
+    from repro.bench.calibrate import calibrate
+
     spec = importlib.util.spec_from_file_location(
         "bench_matching", REPO / "benchmarks" / "bench_matching.py"
     )
     bench = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(bench)
-    assert _function_body_dump(
-        inspect.getsource(bench._calibrate)
-    ) == _function_body_dump(inspect.getsource(loadgen._calibrate))
+    assert bench._calibrate is calibrate
+    assert loadgen._calibrate is calibrate
